@@ -1,0 +1,64 @@
+"""Section IV-A d-choice ablation: why d = 12.
+
+Paper: "d = 12 was identified as the minimum value [with] the optimal
+trade-off between execution time (a 2-second vector is now CS-sampled
+in 82 ms) and (signal) recovery/reconstruction error."
+
+Reproduced: SNR and modeled MSP430 sensing time over a d sweep — SNR
+saturates around d ~ 10-12 while time keeps growing linearly with d.
+The timed kernel is the sparse integer measurement as d varies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import render_table, run_sensing_ablation
+from repro.sensing import SparseBinaryMatrix
+
+D_VALUES = (2, 4, 6, 8, 10, 12, 16, 24)
+
+
+@pytest.fixture(scope="module")
+def d_sweep(bench_database):
+    return run_sensing_ablation(
+        d_values=D_VALUES,
+        nominal_cr=60.0,
+        records=("100", "119", "201"),
+        packets_per_record=6,
+        database=bench_database,
+    )
+
+
+def test_d_sweep_table(d_sweep, benchmark, paper_point_windows):
+    config = SystemConfig()
+    phi = SparseBinaryMatrix(config.m, config.n, d=12, seed=config.seed)
+    window = (paper_point_windows[0] - 1024).astype(np.int64)
+    benchmark(phi.measure_integer, window)
+
+    print("\n" + render_table(d_sweep, title="d sweep (paper: d = 12 optimal trade-off)"))
+    for row in d_sweep:
+        benchmark.extra_info[f"d{int(row['d'])}_snr"] = round(row["snr_db"], 2)
+
+    by_d = {int(row["d"]): row for row in d_sweep}
+    # recovery quality grows from very sparse toward d ~ 12...
+    assert by_d[12]["snr_db"] > by_d[2]["snr_db"] + 1.0
+    # ...and doubling d beyond 12 buys nothing (the integer sums grow,
+    # so quantization eats any incoherence gain) while time doubles —
+    # exactly the paper's "d = 12 is the optimal trade-off"
+    assert by_d[24]["snr_db"] <= by_d[12]["snr_db"] + 0.5
+    assert by_d[24]["sensing_time_ms"] == pytest.approx(
+        2.0 * by_d[12]["sensing_time_ms"], rel=0.1
+    )
+    # d = 12 at the paper's operating point costs 82 ms
+    assert by_d[12]["sensing_time_ms"] == pytest.approx(82.0, abs=0.5)
+
+
+@pytest.mark.parametrize("d", [4, 12, 24])
+def test_sensing_kernel_scales_with_d(benchmark, paper_point_windows, d):
+    config = SystemConfig()
+    phi = SparseBinaryMatrix(config.m, config.n, d=d, seed=config.seed)
+    window = (paper_point_windows[0] - 1024).astype(np.int64)
+    benchmark(phi.measure_integer, window)

@@ -1,0 +1,67 @@
+"""Figure 2: output SNR vs CR — sparse binary (MSP430 path) vs Gaussian.
+
+Paper's result: over CR 50-80 %, sparse binary sensing with d = 12 on
+the MSP430 shows "no meaningful performance difference" against optimal
+Gaussian sensing computed in Matlab, with SNR falling from ~22 dB toward
+~5 dB as CR rises.
+
+Reproduced series: per nominal CR, the full integer encoder pipeline
+(sparse binary + quantizer + differencing + Huffman) against the float64
+Gaussian reference.  The timed kernel is the node-side integer
+measurement of one 2-second packet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import render_table, run_fig2
+from repro.sensing import GaussianMatrix, SparseBinaryMatrix
+
+from .conftest import BENCH_PACKETS, BENCH_RECORDS
+
+NOMINAL_CRS = (50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0)
+
+
+@pytest.fixture(scope="module")
+def fig2_rows(bench_database):
+    return run_fig2(
+        nominal_crs=NOMINAL_CRS,
+        records=BENCH_RECORDS,
+        packets_per_record=BENCH_PACKETS,
+        database=bench_database,
+    )
+
+
+def test_fig2_series(fig2_rows, benchmark, paper_point_windows):
+    """Regenerate the Figure 2 series and time the sensing kernel."""
+    config = SystemConfig()
+    phi = SparseBinaryMatrix(config.m, config.n, d=config.d, seed=config.seed)
+    window = (paper_point_windows[0] - 1024).astype("int64")
+    benchmark(phi.measure_integer, window)
+
+    print("\n" + render_table(fig2_rows, title="Figure 2: SNR vs CR"))
+    for row in fig2_rows:
+        benchmark.extra_info[f"cr{row['nominal_cr']:.0f}_sparse_snr"] = round(
+            row["sparse_snr_db"], 2
+        )
+        benchmark.extra_info[f"cr{row['nominal_cr']:.0f}_gauss_snr"] = round(
+            row["gaussian_snr_db"], 2
+        )
+
+    # shape assertions: monotone decay, no meaningful gap
+    sparse = [row["sparse_snr_db"] for row in fig2_rows]
+    gauss = [row["gaussian_snr_db"] for row in fig2_rows]
+    assert sparse[0] > sparse[-1] + 3.0
+    assert gauss[0] > gauss[-1] + 3.0
+    for row in fig2_rows:
+        assert abs(row["snr_gap_db"]) < 5.0
+
+
+def test_fig2_gaussian_measure_kernel(benchmark, paper_point_windows):
+    """Reference kernel: dense Gaussian measurement (the Matlab side)."""
+    config = SystemConfig()
+    phi = GaussianMatrix(config.m, config.n, seed=config.seed)
+    x = (paper_point_windows[0] - 1024).astype("float64")
+    benchmark(phi.measure, x)

@@ -1,0 +1,75 @@
+"""Figure 6: PRD vs CR — 32-bit iPhone decoder vs 64-bit Matlab decoder.
+
+Paper's result: the two curves coincide over CR 30-90 % (single
+precision costs nothing), with PRD rising as CR rises.
+
+The timed kernels are one full packet decode in each precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import CSDecoder, CSEncoder
+from repro.experiments import render_table, run_fig6
+
+from .conftest import BENCH_PACKETS, BENCH_RECORDS
+
+NOMINAL_CRS = (30.0, 40.0, 50.0, 60.0, 70.0, 80.0)
+
+
+@pytest.fixture(scope="module")
+def fig6_rows(bench_database):
+    return run_fig6(
+        nominal_crs=NOMINAL_CRS,
+        records=BENCH_RECORDS,
+        packets_per_record=BENCH_PACKETS,
+        database=bench_database,
+    )
+
+
+def test_fig6_series(fig6_rows, benchmark, paper_point_windows):
+    """Regenerate the Figure 6 series; time the float64 decode."""
+    config = SystemConfig()
+    encoder = CSEncoder(config)
+    decoder = CSDecoder(config, codebook=encoder.codebook, precision="float64")
+    encoder.reset()
+    packet = encoder.encode(paper_point_windows[0])
+
+    def decode_once():
+        decoder.reset()
+        return decoder.decode(packet)
+
+    benchmark.pedantic(decode_once, rounds=5, iterations=1)
+
+    print("\n" + render_table(fig6_rows, title="Figure 6: PRD vs CR"))
+    for row in fig6_rows:
+        benchmark.extra_info[f"cr{row['nominal_cr']:.0f}_prd64"] = round(
+            row["prd64_percent"], 2
+        )
+        benchmark.extra_info[f"cr{row['nominal_cr']:.0f}_prd32"] = round(
+            row["prd32_percent"], 2
+        )
+
+    prd64 = [row["prd64_percent"] for row in fig6_rows]
+    assert prd64[-1] > prd64[0]  # PRD rises with CR
+    for row in fig6_rows:
+        # "provides the same accuracy as the original 64-bit design"
+        assert row["prd_gap_percent"] < 0.5
+
+
+def test_fig6_float32_decode_kernel(benchmark, paper_point_windows):
+    """Timed kernel: the iPhone-precision decode of one packet."""
+    config = SystemConfig()
+    encoder = CSEncoder(config)
+    decoder = CSDecoder(config, codebook=encoder.codebook, precision="float32")
+    encoder.reset()
+    packet = encoder.encode(paper_point_windows[0])
+
+    def decode_once():
+        decoder.reset()
+        return decoder.decode(packet)
+
+    result = benchmark.pedantic(decode_once, rounds=5, iterations=1)
+    assert result.iterations > 0

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper figure gets one bench module.  The expensive CR sweeps are
+session-scoped fixtures so the series is computed once and shared by
+the bench functions that report and assert on it; pytest-benchmark
+timings are attached to the representative computational kernels.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import EcgMonitorSystem
+from repro.ecg import SyntheticMitBih
+from repro.ecg.resample import resample_record
+
+#: sweep sizing shared by the figure benches (full corpus diversity,
+#: tractable wall-clock)
+BENCH_RECORDS = ("100", "119", "201", "209")
+BENCH_PACKETS = 8
+
+
+@pytest.fixture(scope="session")
+def bench_database() -> SyntheticMitBih:
+    """64-second records: >= BENCH_PACKETS windows each at 256 Hz."""
+    return SyntheticMitBih(duration_s=64.0, seed=2011)
+
+
+@pytest.fixture(scope="session")
+def paper_point_system(bench_database) -> EcgMonitorSystem:
+    """The paper's operating point, calibrated on record 100."""
+    system = EcgMonitorSystem(SystemConfig())
+    system.calibrate(bench_database.load("100"))
+    return system
+
+
+@pytest.fixture(scope="session")
+def paper_point_windows(bench_database) -> list[np.ndarray]:
+    """Digitized 512-sample windows of record 100 at 256 Hz."""
+    record = resample_record(bench_database.load("100"), 256.0)
+    samples = record.adc.digitize(record.channel(0))
+    n = SystemConfig().n
+    return [
+        samples[i * n : (i + 1) * n] for i in range(len(samples) // n)
+    ]

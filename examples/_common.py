@@ -1,0 +1,39 @@
+"""Shared helpers for the example scripts (ASCII plotting, headers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def banner(title: str) -> None:
+    """Print a section banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def ascii_plot(
+    signal: np.ndarray,
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a 1-D signal as an ASCII strip chart."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size == 0:
+        return "(empty signal)"
+    # decimate/interpolate to the terminal width
+    x = np.linspace(0, len(signal) - 1, width)
+    y = np.interp(x, np.arange(len(signal)), signal)
+    low, high = float(y.min()), float(y.max())
+    if high == low:
+        high = low + 1.0
+    rows = []
+    levels = np.round((y - low) / (high - low) * (height - 1)).astype(int)
+    for row in range(height - 1, -1, -1):
+        line = "".join("*" if level == row else " " for level in levels)
+        rows.append(line)
+    chart = "\n".join(rows)
+    footer = f"[min {low:.3g}, max {high:.3g}] {label}"
+    return chart + "\n" + footer

@@ -1,0 +1,98 @@
+"""Solver showdown: FISTA against every family the paper cites.
+
+Section I lists interior-point methods, gradient projection, iterative
+thresholding and greedy pursuit as the CS recovery families; Section II
+adopts FISTA.  This example runs all of them on the same ECG packet and
+prints iterations, wall-clock time, and reconstruction PRD — plus
+FISTA's objective-convergence advantage over ISTA.
+
+Usage::
+
+    python examples/solver_showdown.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SyntheticMitBih, SystemConfig
+from repro.ecg.resample import resample_record
+from repro.experiments import render_table
+from repro.metrics import prd
+from repro.sensing import SparseBinaryMatrix
+from repro.solvers import (
+    basis_pursuit,
+    fista,
+    gpsr,
+    ista,
+    lambda_from_fraction,
+    omp,
+    twist,
+)
+from repro.wavelet import WaveletTransform
+
+from _common import banner
+
+
+def main() -> None:
+    banner("solver showdown on one 2-second ECG packet")
+    config = SystemConfig()
+    record = resample_record(SyntheticMitBih(duration_s=20.0).load("100"), 256.0)
+    x = record.adc.digitize(record.channel(0))[: config.n].astype(np.float64) - 1024
+
+    transform = WaveletTransform(config.n, config.wavelet, config.levels)
+    phi = SparseBinaryMatrix(config.m, config.n, d=config.d, seed=config.seed)
+    system = np.asarray(phi.sparse() @ transform.synthesis_matrix())
+    y = phi.measure(x)
+    lam = lambda_from_fraction(system, y, config.lam)
+
+    solvers = {
+        "fista (adopted)": lambda: fista(system, y, lam, 4000, 1e-5),
+        "ista": lambda: ista(system, y, lam, 12000, 1e-5),
+        "twist": lambda: twist(system, y, lam, 4000, 1e-5),
+        "gpsr-bb": lambda: gpsr(system, y, lam / 2, 4000, 1e-5),
+        "omp (greedy)": lambda: omp(system, y, sparsity=config.m // 3),
+        "basis pursuit (LP)": lambda: basis_pursuit(system, y),
+    }
+    rows = []
+    for name, solve in solvers.items():
+        started = time.perf_counter()
+        result = solve()
+        elapsed = time.perf_counter() - started
+        reconstruction = transform.inverse(
+            np.asarray(result.coefficients, dtype=np.float64)
+        )
+        rows.append(
+            {
+                "solver": name,
+                "iterations": result.iterations,
+                "time_ms": 1e3 * elapsed,
+                "prd_percent": prd(x, reconstruction),
+                "converged": result.converged,
+            }
+        )
+    print(render_table(rows))
+
+    banner("objective convergence: FISTA O(1/k^2) vs ISTA O(1/k)")
+    f_hist = fista(system, y, lam, 300, 1e-12, track_objective=True)
+    i_hist = ista(system, y, lam, 300, 1e-12, track_objective=True)
+    milestones = (10, 50, 100, 200, 299)
+    rows = [
+        {
+            "iteration": k,
+            "fista_objective": f_hist.objective_history[k],
+            "ista_objective": i_hist.objective_history[k],
+        }
+        for k in milestones
+    ]
+    print(render_table(rows))
+    print(
+        "\nFISTA reaches in tens of iterations what ISTA needs hundreds for —"
+        "\nexactly why the decoder sustains real time on the phone."
+    )
+
+
+if __name__ == "__main__":
+    main()

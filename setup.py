@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+This workspace is offline and lacks the ``wheel`` package, so PEP 660
+editable installs cannot build; ``pip install -e .`` therefore goes
+through this classic ``setup.py`` entry point instead.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — reproduction of the DATE 2011 real-time CS-based ECG monitor.
+
+Kanoun, Mamaghanian, Khaled & Atienza, *A Real-Time Compressed
+Sensing-Based Personal Electrocardiogram Monitoring System*, DATE 2011.
+
+The package is organized as the paper's system is:
+
+- :mod:`repro.core` — the CS encoder (sparse binary sensing ->
+  inter-packet redundancy removal -> Huffman) and decoder (Huffman ->
+  packet reconstruction -> FISTA), plus the end-to-end
+  :class:`~repro.core.system.EcgMonitorSystem`;
+- :mod:`repro.sensing`, :mod:`repro.wavelet`, :mod:`repro.solvers`,
+  :mod:`repro.coding` — the signal-processing substrates;
+- :mod:`repro.ecg` — a synthetic MIT-BIH-like corpus (PhysioNet is not
+  reachable offline);
+- :mod:`repro.platforms` — calibrated MSP430 / Cortex-A8 / Bluetooth /
+  battery models behind the paper's real-time and energy claims;
+- :mod:`repro.realtime` — the discrete-event producer/consumer pipeline;
+- :mod:`repro.experiments` — drivers reproducing every figure.
+
+Quickstart::
+
+    from repro import EcgMonitorSystem, SyntheticMitBih, SystemConfig
+
+    record = SyntheticMitBih(duration_s=30).load("100")
+    system = EcgMonitorSystem(SystemConfig().with_target_cr(50))
+    system.calibrate(record)
+    result = system.stream(record)
+    print(result.compression_ratio_percent, result.mean_snr_db)
+"""
+
+from .config import PAPER_DEFAULT, SystemConfig
+from .core import CSDecoder, CSEncoder, EcgMonitorSystem
+from .ecg import SyntheticMitBih
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "PAPER_DEFAULT",
+    "CSEncoder",
+    "CSDecoder",
+    "EcgMonitorSystem",
+    "SyntheticMitBih",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as ``repro-ecg``::
+
+    repro-ecg quickstart --cr 50 --record 100
+    repro-ecg sweep --figure fig7 --records 3 --packets 6
+    repro-ecg fig8
+    repro-ecg budget
+    repro-ecg simd
+    repro-ecg records
+
+Every subcommand prints the same tables the benchmarks assert on, sized
+by ``--records``/``--packets`` so a laptop run stays interactive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .config import SystemConfig
+from .core import EcgMonitorSystem
+from .ecg import RECORD_NAMES, SyntheticMitBih
+from .experiments import (
+    render_table,
+    run_encoder_budget,
+    run_fig2,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_simd_ablation,
+)
+
+_FIGURES = ("fig2", "fig6", "fig7")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ecg",
+        description=(
+            "Reproduction of 'A Real-Time Compressed Sensing-Based "
+            "Personal Electrocardiogram Monitoring System' (DATE 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="compress one record and report metrics")
+    quick.add_argument("--record", default="100", choices=list(RECORD_NAMES))
+    quick.add_argument("--cr", type=float, default=50.0, help="nominal CR percent")
+    quick.add_argument("--packets", type=int, default=8)
+    quick.add_argument("--duration", type=float, default=40.0)
+
+    sweep = sub.add_parser("sweep", help="regenerate a figure's series")
+    sweep.add_argument("--figure", choices=_FIGURES, default="fig7")
+    sweep.add_argument("--records", type=int, default=3)
+    sweep.add_argument("--packets", type=int, default=6)
+    sweep.add_argument("--duration", type=float, default=40.0)
+
+    fig8 = sub.add_parser("fig8", help="simulate the real-time pipeline")
+    fig8.add_argument("--cr", type=float, default=50.0)
+    fig8.add_argument("--packets", type=int, default=10)
+    fig8.add_argument("--duration", type=float, default=120.0)
+
+    sub.add_parser("budget", help="node-side timing/memory/energy table")
+    sub.add_parser("simd", help="Figures 3-5 SIMD ablation tables")
+    sub.add_parser("records", help="list the synthetic corpus")
+    return parser
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    config = SystemConfig().with_target_cr(args.cr)
+    database = SyntheticMitBih(duration_s=args.duration)
+    record = database.load(args.record)
+    system = EcgMonitorSystem(config)
+    system.calibrate(record)
+    stream = system.stream(record, max_packets=args.packets)
+    row = {
+        "record": args.record,
+        "rhythm": record.rhythm,
+        "packets": stream.num_packets,
+        "measured_cr": stream.compression_ratio_percent,
+        "prd_percent": stream.mean_prd_percent,
+        "snr_db": stream.mean_snr_db,
+        "iterations": stream.mean_iterations,
+    }
+    print(render_table([row], title=f"quickstart @ nominal CR {args.cr:.0f} %"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    database = SyntheticMitBih(duration_s=args.duration)
+    records = database.subset(args.records)
+    driver = {"fig2": run_fig2, "fig6": run_fig6, "fig7": run_fig7}[args.figure]
+    rows = driver(
+        records=records,
+        packets_per_record=args.packets,
+        database=database,
+    )
+    print(render_table(rows, title=f"{args.figure} series"))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    database = SyntheticMitBih(duration_s=max(args.duration / 4.0, 24.0))
+    report, summary = run_fig8(
+        nominal_cr=args.cr,
+        packets=args.packets,
+        duration_s=args.duration,
+        database=database,
+    )
+    print(render_table([summary], title="figure 8: real-time claims"))
+    print(
+        render_table(
+            [
+                {
+                    "buffer_min_s": report.buffer_min_s,
+                    "buffer_max_s": report.buffer_max_s,
+                    "latency_s": report.mean_end_to_end_latency_s,
+                }
+            ],
+            title="pipeline detail",
+        )
+    )
+    return 0
+
+
+def _cmd_budget(_: argparse.Namespace) -> int:
+    budget = run_encoder_budget()
+    headline = {
+        "sensing_ms": budget["sensing_time_ms"],
+        "encode_ms": budget["encode_time_ms"],
+        "node_cpu_percent": budget["node_cpu_percent"],
+        "ram_bytes": budget["ram_bytes"],
+        "flash_bytes": budget["flash_bytes"],
+    }
+    print(render_table([headline], title="node budget"))
+    print(render_table(budget["approaches"], title="sensing approaches"))
+    print(render_table(budget["lifetime"], title="lifetime extension vs CR"))
+    return 0
+
+
+def _cmd_simd(_: argparse.Namespace) -> int:
+    ablation = run_simd_ablation()
+    print(render_table(ablation["fig3"], title="figure 3: leftover strategies"))
+    print(render_table([ablation["fig4"]], title="figure 4: if-conversion"))
+    print(render_table(ablation["fig5"], title="figure 5: loop nests"))
+    print(render_table(ablation["iteration_kernels"], title="per-kernel cycles"))
+    summary = {
+        "speedup": ablation["speedup_at_1000_iters"],
+        "cap_scalar": ablation["max_iterations_scalar"],
+        "cap_neon": ablation["max_iterations_neon"],
+    }
+    print(render_table([summary], title="section V"))
+    return 0
+
+
+def _cmd_records(_: argparse.Namespace) -> int:
+    database = SyntheticMitBih(duration_s=10.0)
+    rows = []
+    for name in RECORD_NAMES:
+        record = database.load(name)
+        rows.append(
+            {
+                "record": name,
+                "rhythm": record.rhythm,
+                "beats": len(record.annotations),
+                "channels": record.num_channels,
+            }
+        )
+    print(render_table(rows, title="synthetic MIT-BIH-like corpus (48 records)"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "quickstart": _cmd_quickstart,
+        "sweep": _cmd_sweep,
+        "fig8": _cmd_fig8,
+        "budget": _cmd_budget,
+        "simd": _cmd_simd,
+        "records": _cmd_records,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

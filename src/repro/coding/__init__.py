@@ -1,0 +1,30 @@
+"""Lossless-coding substrate: bitstreams, Huffman coding, redundancy removal.
+
+This package implements the third encoder stage of the paper (entropy
+coding with an offline-generated, length-limited Huffman codebook of 512
+symbols and at most 16-bit codewords) together with the "redundancy
+removal" stage that differences consecutive measurement vectors.
+"""
+
+from .bitstream import BitReader, BitWriter
+from .huffman import HuffmanCode, huffman_code_lengths
+from .length_limited import package_merge_lengths
+from .codebook import Codebook, train_codebook, laplacian_frequencies
+from .redundancy import DifferentialCodec
+from .rice import RiceCoder, optimal_rice_parameter, zigzag_decode, zigzag_encode
+
+__all__ = [
+    "RiceCoder",
+    "optimal_rice_parameter",
+    "zigzag_decode",
+    "zigzag_encode",
+    "BitReader",
+    "BitWriter",
+    "HuffmanCode",
+    "huffman_code_lengths",
+    "package_merge_lengths",
+    "Codebook",
+    "train_codebook",
+    "laplacian_frequencies",
+    "DifferentialCodec",
+]

@@ -1,0 +1,154 @@
+"""MSB-first bit-level I/O.
+
+The encoder firmware writes variable-length Huffman codewords into a byte
+buffer most-significant-bit first, which is the natural layout on a
+big-endian bit order wire format and matches how the reference C
+implementation packs codewords.  :class:`BitWriter` and :class:`BitReader`
+implement that layout exactly; a payload written by one is read back
+bit-for-bit by the other.
+"""
+
+from __future__ import annotations
+
+from ..errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulate bits MSB-first into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_position = 0  # bits already used in the last byte (0..7)
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        if self._bit_position == 0:
+            return 8 * len(self._bytes)
+        return 8 * (len(self._bytes) - 1) + self._bit_position
+
+    @property
+    def bit_length(self) -> int:
+        """Alias of ``len(self)`` for readability at call sites."""
+        return len(self)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise BitstreamError(f"bit must be 0 or 1, got {bit!r}")
+        if self._bit_position == 0:
+            self._bytes.append(0)
+        if bit:
+            self._bytes[-1] |= 0x80 >> self._bit_position
+        self._bit_position = (self._bit_position + 1) & 7
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant bit first."""
+        if width < 0:
+            raise BitstreamError(f"width must be >= 0, got {width}")
+        if width == 0:
+            return
+        if value < 0 or value >= (1 << width):
+            raise BitstreamError(
+                f"value {value} does not fit in {width} unsigned bits"
+            )
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_signed(self, value: int, width: int) -> None:
+        """Append a two's-complement signed integer of the given width."""
+        if width < 1:
+            raise BitstreamError(f"signed width must be >= 1, got {width}")
+        low = -(1 << (width - 1))
+        high = (1 << (width - 1)) - 1
+        if not low <= value <= high:
+            raise BitstreamError(
+                f"value {value} does not fit in {width} signed bits"
+            )
+        self.write_bits(value & ((1 << width) - 1), width)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` ones followed by a terminating zero."""
+        if value < 0:
+            raise BitstreamError(f"unary value must be >= 0, got {value}")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        while self._bit_position != 0:
+            self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """Return the buffer contents, zero-padded to a whole byte."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Consume bits MSB-first from a byte buffer produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = bytes(data)
+        max_bits = 8 * len(self._data)
+        if bit_length is None:
+            bit_length = max_bits
+        if not 0 <= bit_length <= max_bits:
+            raise BitstreamError(
+                f"bit_length {bit_length} outside [0, {max_bits}]"
+            )
+        self._bit_length = bit_length
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        """Number of bits consumed so far."""
+        return self._position
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits still available."""
+        return self._bit_length - self._position
+
+    def read_bit(self) -> int:
+        """Read and return the next bit."""
+        if self._position >= self._bit_length:
+            raise BitstreamError("read past end of bitstream")
+        byte = self._data[self._position >> 3]
+        bit = (byte >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer (MSB first)."""
+        if width < 0:
+            raise BitstreamError(f"width must be >= 0, got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_signed(self, width: int) -> int:
+        """Read a two's-complement signed integer of the given width."""
+        if width < 1:
+            raise BitstreamError(f"signed width must be >= 1, got {width}")
+        raw = self.read_bits(width)
+        sign_bit = 1 << (width - 1)
+        if raw & sign_bit:
+            raw -= 1 << width
+        return raw
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of ones before the first zero)."""
+        count = 0
+        while self.read_bit() == 1:
+            count += 1
+        return count
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary."""
+        offset = self._position & 7
+        if offset:
+            skip = 8 - offset
+            if skip > self.remaining:
+                raise BitstreamError("cannot align: past end of bitstream")
+            self._position += skip

@@ -1,0 +1,206 @@
+"""Offline Huffman codebook: training, storage model, serialization.
+
+The paper trains a single Huffman codebook offline over the difference
+signal (range ``[-256, 255]``, 512 symbols, codewords capped at 16 bits)
+and stores it in the mote's flash: "1 kB for the codebook itself and
+512 B for its corresponding codeword lengths".  That is exactly a table of
+512 16-bit codewords (1024 B) plus 512 8-bit lengths (512 B);
+:meth:`Codebook.flash_bytes` reproduces this accounting.
+
+Because real firmware must code *any* symbol in range (not only those
+seen during training), training adds a +1 Laplace floor to every symbol
+frequency so the codebook is complete.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DIFF_MAX, DIFF_MIN, HUFFMAN_MAX_CODE_BITS
+from ..errors import CodebookError
+from .huffman import HuffmanCode
+from .length_limited import package_merge_lengths
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A trained, length-limited canonical Huffman codebook.
+
+    Symbols are difference values shifted to ``0 .. num_symbols-1``:
+    symbol ``s`` encodes difference value ``s + offset``.
+    """
+
+    code: HuffmanCode
+    offset: int
+
+    @property
+    def num_symbols(self) -> int:
+        """Alphabet size (512 for the paper's difference signal)."""
+        return self.code.num_symbols
+
+    @property
+    def min_value(self) -> int:
+        """Smallest encodable difference value."""
+        return self.offset
+
+    @property
+    def max_value(self) -> int:
+        """Largest encodable difference value."""
+        return self.offset + self.num_symbols - 1
+
+    def symbol_for(self, value: int) -> int:
+        """Map a difference value to its symbol index."""
+        symbol = int(value) - self.offset
+        if not 0 <= symbol < self.num_symbols:
+            raise CodebookError(
+                f"value {value} outside codebook range "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        return symbol
+
+    def value_for(self, symbol: int) -> int:
+        """Map a symbol index back to its difference value."""
+        if not 0 <= symbol < self.num_symbols:
+            raise CodebookError(f"symbol {symbol} outside alphabet")
+        return symbol + self.offset
+
+    # ------------------------------------------------------------------
+    # Firmware storage model
+    # ------------------------------------------------------------------
+    def flash_bytes(self) -> dict[str, int]:
+        """Flash footprint of the stored codebook, byte-accurate.
+
+        Matches the paper's accounting: 16-bit codewords (2 B/symbol)
+        plus 8-bit lengths (1 B/symbol) — 1 kB + 512 B for 512 symbols.
+        """
+        return {
+            "codeword_table": 2 * self.num_symbols,
+            "length_table": self.num_symbols,
+            "total": 3 * self.num_symbols,
+        }
+
+    def mean_bits_per_symbol(self, frequencies: Sequence[int]) -> float:
+        """Average codeword length under the given symbol frequencies."""
+        total_freq = sum(frequencies)
+        if total_freq <= 0:
+            raise CodebookError("frequencies must sum to a positive value")
+        return self.code.expected_bits(frequencies) / total_freq
+
+    # ------------------------------------------------------------------
+    # Serialization (lengths only: canonical codes rebuild the codewords)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize as JSON (offset + canonical length table)."""
+        return json.dumps({"offset": self.offset, "lengths": self.code.lengths})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Codebook":
+        """Rebuild a codebook from :meth:`to_json` output."""
+        try:
+            data = json.loads(payload)
+            offset = int(data["offset"])
+            lengths = [int(x) for x in data["lengths"]]
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise CodebookError(f"malformed codebook payload: {exc}") from exc
+        return cls(code=HuffmanCode(lengths), offset=offset)
+
+
+def laplacian_frequencies(
+    num_symbols: int = DIFF_MAX - DIFF_MIN + 1,
+    scale: float = 12.0,
+    total: int = 1_000_000,
+) -> list[int]:
+    """Synthetic Laplacian frequency profile for difference signals.
+
+    Inter-packet measurement differences are well modeled as zero-mean
+    Laplacian; this profile seeds a default codebook when no training
+    corpus is available (e.g. cold start on a new device).
+    """
+    if num_symbols < 2:
+        raise CodebookError(f"num_symbols must be >= 2, got {num_symbols}")
+    if scale <= 0:
+        raise CodebookError(f"scale must be positive, got {scale}")
+    offset = -(num_symbols // 2)
+    values = np.arange(offset, offset + num_symbols)
+    weights = np.exp(-np.abs(values) / scale)
+    weights /= weights.sum()
+    frequencies = np.maximum(1, np.round(weights * total).astype(int))
+    return [int(f) for f in frequencies]
+
+
+def train_codebook(
+    samples: Iterable[int] | None = None,
+    offset: int = DIFF_MIN,
+    num_symbols: int = DIFF_MAX - DIFF_MIN + 1,
+    max_length: int = HUFFMAN_MAX_CODE_BITS,
+    laplace_floor: int = 1,
+) -> Codebook:
+    """Train a complete, length-limited codebook over difference samples.
+
+    Parameters
+    ----------
+    samples:
+        Iterable of difference values in ``[offset, offset+num_symbols)``.
+        ``None`` trains on the synthetic Laplacian profile instead.
+    offset:
+        Value encoded by symbol 0 (``-256`` in the paper).
+    num_symbols:
+        Alphabet size (512 in the paper).
+    max_length:
+        Codeword-length cap in bits (16 in the paper).
+    laplace_floor:
+        Added to every symbol count so all in-range values are encodable.
+    """
+    if laplace_floor < 0:
+        raise CodebookError(f"laplace_floor must be >= 0, got {laplace_floor}")
+    frequencies = [laplace_floor] * num_symbols
+    if samples is None:
+        base = laplacian_frequencies(num_symbols=num_symbols)
+        frequencies = [f + b for f, b in zip(frequencies, base)]
+    else:
+        for value in samples:
+            index = int(value) - offset
+            if not 0 <= index < num_symbols:
+                raise CodebookError(
+                    f"training value {value} outside "
+                    f"[{offset}, {offset + num_symbols - 1}]"
+                )
+            frequencies[index] += 1
+    if all(f == 0 for f in frequencies):
+        raise CodebookError(
+            "no symbol has nonzero frequency; use laplace_floor >= 1"
+        )
+    lengths = package_merge_lengths(frequencies, max_length)
+    return Codebook(code=HuffmanCode(lengths), offset=offset)
+
+
+def empirical_entropy_bits(samples: Sequence[int]) -> float:
+    """Empirical zeroth-order entropy of a symbol sequence, bits/symbol."""
+    if len(samples) == 0:
+        raise CodebookError("samples must be non-empty")
+    values, counts = np.unique(np.asarray(samples), return_counts=True)
+    del values
+    probabilities = counts / counts.sum()
+    return float(-np.sum(probabilities * np.log2(probabilities)))
+
+
+def huffman_efficiency(
+    codebook: Codebook, samples: Sequence[int]
+) -> dict[str, float]:
+    """Compare codebook mean length against the source entropy."""
+    frequencies = [0] * codebook.num_symbols
+    for value in samples:
+        frequencies[codebook.symbol_for(int(value))] += 1
+    mean_bits = codebook.mean_bits_per_symbol(frequencies)
+    entropy = empirical_entropy_bits(list(samples))
+    return {
+        "mean_bits_per_symbol": mean_bits,
+        "entropy_bits_per_symbol": entropy,
+        "redundancy_bits": mean_bits - entropy,
+        "efficiency": entropy / mean_bits if mean_bits > 0 else math.nan,
+    }

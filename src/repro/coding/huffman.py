@@ -1,0 +1,208 @@
+"""Huffman coding with canonical codes.
+
+The encoder firmware stores only codeword *lengths* plus a canonical
+ordering (1 kB codebook + 512 B of lengths in the paper), not an explicit
+tree, so this module is built around canonical Huffman codes:
+
+- :func:`huffman_code_lengths` computes optimal (unbounded) codeword
+  lengths from symbol frequencies with the classic two-queue algorithm;
+- :class:`HuffmanCode` turns a length table into canonical codewords and
+  provides encoding plus a table-driven decoder.
+
+Length-*limited* codes (the paper caps codewords at 16 bits) are produced
+by :mod:`repro.coding.length_limited` and consumed by the same
+:class:`HuffmanCode` machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+
+from ..errors import CodebookError, DecodingError
+from .bitstream import BitReader, BitWriter
+
+
+def huffman_code_lengths(frequencies: Sequence[int]) -> list[int]:
+    """Optimal prefix-code lengths for the given symbol frequencies.
+
+    Zero-frequency symbols get length 0 (no codeword).  If only one
+    symbol has nonzero frequency it is assigned a 1-bit codeword.
+    """
+    if not frequencies:
+        raise CodebookError("frequencies must be non-empty")
+    if any(f < 0 for f in frequencies):
+        raise CodebookError("frequencies must be non-negative")
+
+    active = [(freq, index) for index, freq in enumerate(frequencies) if freq > 0]
+    lengths = [0] * len(frequencies)
+    if not active:
+        raise CodebookError("at least one symbol must have nonzero frequency")
+    if len(active) == 1:
+        lengths[active[0][1]] = 1
+        return lengths
+
+    # Classic heap-based Huffman: each heap entry carries the subtree's
+    # total frequency, a tie-breaker, and the list of leaf symbols so we
+    # can increment depths on merge.
+    heap: list[tuple[int, int, list[int]]] = []
+    for tie, (freq, index) in enumerate(active):
+        heap.append((freq, tie, [index]))
+    heapq.heapify(heap)
+    tie = len(active)
+    while len(heap) > 1:
+        freq_a, _, leaves_a = heapq.heappop(heap)
+        freq_b, _, leaves_b = heapq.heappop(heap)
+        for leaf in leaves_a:
+            lengths[leaf] += 1
+        for leaf in leaves_b:
+            lengths[leaf] += 1
+        heapq.heappush(heap, (freq_a + freq_b, tie, leaves_a + leaves_b))
+        tie += 1
+    return lengths
+
+
+def kraft_sum(lengths: Iterable[int]) -> float:
+    """Kraft–McMillan sum ``sum(2^-l)`` over nonzero lengths."""
+    return sum(2.0 ** -length for length in lengths if length > 0)
+
+
+def canonical_codewords(lengths: Sequence[int]) -> list[int | None]:
+    """Assign canonical codewords from a valid length table.
+
+    Symbols are ordered by (length, symbol index); codewords are the
+    standard canonical sequence.  Returns ``None`` for zero-length
+    (absent) symbols.
+    """
+    used = [(length, symbol) for symbol, length in enumerate(lengths) if length > 0]
+    if not used:
+        raise CodebookError("length table has no coded symbols")
+    total = kraft_sum(lengths)
+    if total > 1.0 + 1e-12:
+        raise CodebookError(f"length table violates Kraft inequality (sum={total})")
+
+    used.sort()
+    codewords: list[int | None] = [None] * len(lengths)
+    code = 0
+    previous_length = used[0][0]
+    for length, symbol in used:
+        code <<= length - previous_length
+        previous_length = length
+        if code >= (1 << length):
+            raise CodebookError("canonical code overflow: invalid length table")
+        codewords[symbol] = code
+        code += 1
+    return codewords
+
+
+class HuffmanCode:
+    """A canonical Huffman code over symbols ``0 .. num_symbols-1``.
+
+    Decoding uses the canonical first-code/offset tables, the same
+    structure a microcontroller would keep in flash: per length ``l`` the
+    first canonical codeword and the index of its first symbol, plus the
+    symbol permutation sorted by (length, symbol).
+    """
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self._lengths = [int(length) for length in lengths]
+        if any(length < 0 for length in self._lengths):
+            raise CodebookError("codeword lengths must be non-negative")
+        self._codewords = canonical_codewords(self._lengths)
+        self._max_length = max(self._lengths)
+
+        # Canonical decoding tables.
+        ordered = sorted(
+            (length, symbol)
+            for symbol, length in enumerate(self._lengths)
+            if length > 0
+        )
+        self._symbols_by_rank = [symbol for _, symbol in ordered]
+        self._first_code = [0] * (self._max_length + 2)
+        self._first_rank = [0] * (self._max_length + 2)
+        rank = 0
+        code = 0
+        for length in range(1, self._max_length + 1):
+            code <<= 1
+            self._first_code[length] = code
+            self._first_rank[length] = rank
+            count = sum(1 for l, _ in ordered if l == length)
+            rank += count
+            code += count
+        self._first_code[self._max_length + 1] = code << 1
+        self._first_rank[self._max_length + 1] = rank
+        self._counts = [
+            self._first_rank[length + 1] - self._first_rank[length]
+            for length in range(self._max_length + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def lengths(self) -> list[int]:
+        """Codeword length per symbol (0 = symbol has no codeword)."""
+        return list(self._lengths)
+
+    @property
+    def max_length(self) -> int:
+        """Longest codeword length in bits."""
+        return self._max_length
+
+    @property
+    def num_symbols(self) -> int:
+        """Size of the symbol alphabet (including absent symbols)."""
+        return len(self._lengths)
+
+    def codeword(self, symbol: int) -> tuple[int, int]:
+        """Return ``(code, length)`` for a symbol, or raise if absent."""
+        if not 0 <= symbol < len(self._lengths):
+            raise CodebookError(f"symbol {symbol} outside alphabet")
+        code = self._codewords[symbol]
+        if code is None:
+            raise CodebookError(f"symbol {symbol} has no codeword")
+        return code, self._lengths[symbol]
+
+    # ------------------------------------------------------------------
+    def encode_symbol(self, symbol: int, writer: BitWriter) -> None:
+        """Append one symbol's codeword to ``writer``."""
+        code, length = self.codeword(symbol)
+        writer.write_bits(code, length)
+
+    def encode(self, symbols: Iterable[int], writer: BitWriter | None = None) -> BitWriter:
+        """Encode a symbol sequence; returns the (possibly new) writer."""
+        if writer is None:
+            writer = BitWriter()
+        for symbol in symbols:
+            self.encode_symbol(symbol, writer)
+        return writer
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Read one canonical codeword from ``reader``."""
+        code = 0
+        for length in range(1, self._max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            count = self._counts[length]
+            if count and code - self._first_code[length] < count:
+                rank = self._first_rank[length] + (code - self._first_code[length])
+                return self._symbols_by_rank[rank]
+        raise DecodingError("invalid codeword in bitstream")
+
+    def decode(self, reader: BitReader, count: int) -> list[int]:
+        """Decode exactly ``count`` symbols."""
+        if count < 0:
+            raise DecodingError(f"count must be >= 0, got {count}")
+        return [self.decode_symbol(reader) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    def expected_bits(self, frequencies: Sequence[int]) -> float:
+        """Total bits to code a source with the given frequencies."""
+        if len(frequencies) != len(self._lengths):
+            raise CodebookError("frequency table size mismatch")
+        total = 0.0
+        for symbol, freq in enumerate(frequencies):
+            if freq > 0:
+                if self._lengths[symbol] == 0:
+                    raise CodebookError(
+                        f"symbol {symbol} occurs but has no codeword"
+                    )
+                total += freq * self._lengths[symbol]
+        return total

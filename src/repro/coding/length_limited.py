@@ -1,0 +1,88 @@
+"""Length-limited prefix codes via the package-merge algorithm.
+
+The paper's codebook covers 512 symbols with a **maximum codeword length
+of 16 bits**.  Plain Huffman construction does not respect a length cap,
+so we implement the package-merge algorithm (Larmore & Hirschberg, 1990),
+which produces the optimal prefix code subject to ``length <= limit``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import CodebookError
+
+
+def package_merge_lengths(frequencies: Sequence[int], max_length: int) -> list[int]:
+    """Optimal codeword lengths with ``length <= max_length`` for all symbols.
+
+    Zero-frequency symbols receive length 0.  Raises
+    :class:`~repro.errors.CodebookError` when the alphabet cannot be coded
+    within ``max_length`` bits (i.e. more than ``2**max_length`` active
+    symbols).
+    """
+    if max_length < 1:
+        raise CodebookError(f"max_length must be >= 1, got {max_length}")
+    if any(freq < 0 for freq in frequencies):
+        raise CodebookError("frequencies must be non-negative")
+    active = [
+        (int(freq), index) for index, freq in enumerate(frequencies) if freq > 0
+    ]
+    if not active:
+        raise CodebookError("at least one symbol must have nonzero frequency")
+
+    lengths = [0] * len(frequencies)
+    if len(active) == 1:
+        lengths[active[0][1]] = 1
+        return lengths
+    if len(active) > (1 << max_length):
+        raise CodebookError(
+            f"{len(active)} symbols cannot be coded in <= {max_length} bits"
+        )
+
+    # Package-merge.  Items are (weight, {symbol: multiplicity}); at each
+    # of the max_length levels we pair adjacent items into packages and
+    # merge with the original leaves.  After the final level, taking the
+    # first 2*(n-1) items gives each symbol's codeword length as its
+    # total multiplicity across taken items.
+    leaves = sorted(active)
+    level: list[tuple[int, dict[int, int]]] = [
+        (weight, {symbol: 1}) for weight, symbol in leaves
+    ]
+    for _ in range(max_length - 1):
+        packages: list[tuple[int, dict[int, int]]] = []
+        for i in range(0, len(level) - 1, 2):
+            weight = level[i][0] + level[i + 1][0]
+            counts: dict[int, int] = dict(level[i][1])
+            for symbol, multiplicity in level[i + 1][1].items():
+                counts[symbol] = counts.get(symbol, 0) + multiplicity
+            packages.append((weight, counts))
+        merged: list[tuple[int, dict[int, int]]] = []
+        leaf_iter = iter(leaves)
+        package_iter = iter(packages)
+        next_leaf = next(leaf_iter, None)
+        next_package = next(package_iter, None)
+        while next_leaf is not None or next_package is not None:
+            take_leaf = next_package is None or (
+                next_leaf is not None and next_leaf[0] <= next_package[0]
+            )
+            if take_leaf:
+                assert next_leaf is not None
+                merged.append((next_leaf[0], {next_leaf[1]: 1}))
+                next_leaf = next(leaf_iter, None)
+            else:
+                assert next_package is not None
+                merged.append(next_package)
+                next_package = next(package_iter, None)
+        level = merged
+
+    needed = 2 * (len(active) - 1)
+    if len(level) < needed:
+        raise CodebookError("package-merge failed: not enough packages")
+    for _, counts in level[:needed]:
+        for symbol, multiplicity in counts.items():
+            lengths[symbol] += multiplicity
+
+    if max(lengths) > max_length:
+        raise CodebookError("package-merge produced an over-long codeword")
+    return lengths

@@ -1,0 +1,116 @@
+"""Rice/Golomb coding: the codebook-free alternative entropy coder.
+
+The paper's Huffman codebook costs 1.5 kB of flash.  A Rice coder needs
+*no* stored tables — each value is zigzag-mapped to an unsigned integer
+and coded as ``quotient`` in unary plus ``k`` remainder bits — at the
+cost of slightly worse compression on non-geometric sources.  This
+module implements it (with the standard per-packet optimal-``k``
+estimator) so the coding-stage ablation can quantify the flash-vs-CR
+trade-off the paper's designers implicitly made.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import BitstreamError, DecodingError
+from .bitstream import BitReader, BitWriter
+
+#: guard against pathological unary runs on corrupted streams
+_MAX_QUOTIENT = 4096
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to unsigned: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if value < 0:
+        raise DecodingError(f"zigzag value must be >= 0, got {value}")
+    return (value >> 1) if value % 2 == 0 else -((value + 1) >> 1)
+
+
+def optimal_rice_parameter(values: Sequence[int]) -> int:
+    """The standard estimator: ``k = ceil(log2(mean(|zigzag|)))``.
+
+    Returns 0 for all-zero inputs.  Clamped to [0, 24].
+    """
+    if len(values) == 0:
+        raise BitstreamError("values must be non-empty")
+    mean = float(np.mean([zigzag_encode(int(v)) for v in values]))
+    if mean < 1.0:
+        return 0
+    return max(0, min(24, int(math.ceil(math.log2(mean)))))
+
+
+def rice_encode_value(value: int, k: int, writer: BitWriter) -> None:
+    """Append one signed value with Rice parameter ``k``."""
+    if not 0 <= k <= 24:
+        raise BitstreamError(f"rice parameter must be in [0, 24], got {k}")
+    mapped = zigzag_encode(int(value))
+    quotient, remainder = divmod(mapped, 1 << k)
+    if quotient > _MAX_QUOTIENT:
+        raise BitstreamError(
+            f"value {value} too large for rice parameter {k}"
+        )
+    writer.write_unary(quotient)
+    if k:
+        writer.write_bits(remainder, k)
+
+
+def rice_decode_value(k: int, reader: BitReader) -> int:
+    """Read one signed value with Rice parameter ``k``."""
+    if not 0 <= k <= 24:
+        raise DecodingError(f"rice parameter must be in [0, 24], got {k}")
+    quotient = 0
+    while reader.read_bit() == 1:
+        quotient += 1
+        if quotient > _MAX_QUOTIENT:
+            raise DecodingError("unary run exceeds limit: corrupt stream")
+    remainder = reader.read_bits(k) if k else 0
+    return zigzag_decode((quotient << k) | remainder)
+
+
+class RiceCoder:
+    """Packet-level Rice coder with a 5-bit per-packet parameter header.
+
+    ``encode`` prefixes the adaptive ``k`` so the decoder is stateless —
+    exactly what a firmware implementation would transmit.
+    """
+
+    PARAMETER_BITS = 5
+
+    def encode(
+        self, values: Sequence[int], writer: BitWriter | None = None
+    ) -> BitWriter:
+        """Encode a packet of signed values; returns the writer."""
+        if writer is None:
+            writer = BitWriter()
+        k = optimal_rice_parameter(values)
+        writer.write_bits(k, self.PARAMETER_BITS)
+        for value in values:
+            rice_encode_value(int(value), k, writer)
+        return writer
+
+    def decode(self, reader: BitReader, count: int) -> list[int]:
+        """Decode exactly ``count`` values."""
+        if count < 0:
+            raise DecodingError(f"count must be >= 0, got {count}")
+        k = reader.read_bits(self.PARAMETER_BITS)
+        if k > 24:
+            raise DecodingError(f"invalid rice parameter {k} in stream")
+        return [rice_decode_value(k, reader) for _ in range(count)]
+
+    def encoded_bits(self, values: Sequence[int]) -> int:
+        """Exact bit cost without materializing the stream."""
+        k = optimal_rice_parameter(values)
+        total = self.PARAMETER_BITS
+        for value in values:
+            mapped = zigzag_encode(int(value))
+            total += (mapped >> k) + 1 + k
+        return total

@@ -1,0 +1,171 @@
+"""The coordinator-side CS decoder (paper Figure 1, bottom path).
+
+Three stages mirroring the encoder:
+
+1. **Huffman decoding** with the shared codebook;
+2. **packet reconstruction** — re-inserting the inter-packet redundancy
+   (cumulative differences against the last keyframe);
+3. **FISTA reconstruction** — solving the l1 problem in the wavelet
+   domain and synthesizing the time-domain ECG.
+
+The decoder supports float64 (the paper's Matlab reference) and float32
+(the iPhone build); Figure 6 overlays the two.  The system operator's
+Lipschitz constant is computed once at construction (the sensing matrix
+is fixed), exactly as an embedded decoder would precompute it offline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding import BitReader, Codebook, DifferentialCodec, train_codebook
+from ..config import SystemConfig
+from ..errors import ConfigurationError, DecodingError
+from ..sensing import SparseBinaryMatrix
+from ..solvers import SolverResult, fista, lambda_from_fraction
+from ..solvers.lipschitz import lipschitz_constant
+from ..wavelet import WaveletTransform
+from .packets import EncodedPacket, PacketKind, unpack_keyframe_values
+from .quantizer import MeasurementQuantizer
+
+
+@dataclass(frozen=True)
+class DecodedPacket:
+    """One reconstructed 2-second window plus solver diagnostics."""
+
+    sequence: int
+    samples_adu: np.ndarray
+    measurements: np.ndarray
+    solver: SolverResult
+    decode_seconds: float
+
+    @property
+    def iterations(self) -> int:
+        """FISTA iterations spent on this packet."""
+        return self.solver.iterations
+
+
+class CSDecoder:
+    """Compressed-sensing ECG decoder for one lead.
+
+    Parameters
+    ----------
+    config:
+        Must match the encoder's configuration (same seed -> same
+        sensing matrix, the paper's shared fixed matrix).
+    codebook:
+        Must be the same codebook the encoder used.
+    precision:
+        ``"float64"`` (Matlab reference) or ``"float32"`` (iPhone).
+    warm_start:
+        Reuse the previous packet's wavelet coefficients as the FISTA
+        starting point (off by default: the paper decodes each packet
+        independently).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        codebook: Codebook | None = None,
+        precision: str = "float64",
+        warm_start: bool = False,
+    ) -> None:
+        if precision not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"precision must be 'float64' or 'float32', got {precision!r}"
+            )
+        self.config = config
+        self.precision = precision
+        self.warm_start = warm_start
+        self.codebook = codebook if codebook is not None else train_codebook()
+        self.codec = DifferentialCodec(keyframe_interval=config.keyframe_interval)
+        self.quantizer = MeasurementQuantizer(d=config.d)
+
+        matrix = SparseBinaryMatrix(config.m, config.n, d=config.d, seed=config.seed)
+        self.transform = WaveletTransform(config.n, config.wavelet, config.levels)
+        # Dense materialization of A = Phi Psi: at N = 512 this is the
+        # fastest representation for the numerical sweeps; the embedded
+        # cost models account for the matrix-free structure instead.
+        dtype = np.float32 if precision == "float32" else np.float64
+        a_dense = (matrix.sparse() @ self.transform.synthesis_matrix()).astype(dtype)
+        self._system = a_dense
+        self._lipschitz = lipschitz_constant(a_dense.astype(np.float64))
+        self.dc_offset = 1 << (config.adc_bits - 1)
+        self._previous_alpha: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop stream state (reference vector and warm-start memory)."""
+        self.codec.reset()
+        self._previous_alpha = None
+
+    @property
+    def system_matrix(self) -> np.ndarray:
+        """The dense system operator ``A = Phi Psi`` (decoder precision)."""
+        return self._system
+
+    @property
+    def lipschitz(self) -> float:
+        """Precomputed Lipschitz constant of the data-fidelity gradient."""
+        return self._lipschitz
+
+    # ------------------------------------------------------------------
+    def _decode_payload(self, packet: EncodedPacket) -> np.ndarray:
+        """Stages 1-2: entropy decoding and redundancy re-insertion."""
+        if packet.m != self.config.m:
+            raise DecodingError(
+                f"packet m={packet.m} does not match decoder m={self.config.m}"
+            )
+        if packet.kind is PacketKind.KEYFRAME:
+            values = unpack_keyframe_values(packet.payload, self.config.m)
+            return self.codec.decode(True, values)
+        reader = BitReader(packet.payload, bit_length=packet.payload_bits)
+        symbols = self.codebook.code.decode(reader, self.config.m)
+        if reader.remaining >= 8:
+            raise DecodingError(
+                f"{reader.remaining} unread payload bits after decoding"
+            )
+        diffs = np.asarray(
+            [self.codebook.value_for(s) for s in symbols], dtype=np.int64
+        )
+        return self.codec.decode(False, diffs)
+
+    def decode(self, packet: EncodedPacket) -> DecodedPacket:
+        """Full decode of one packet into reconstructed adu samples."""
+        started = time.perf_counter()
+        y_q = self._decode_payload(packet)
+        y = self.quantizer.dequantize(y_q)
+        dtype = np.float32 if self.precision == "float32" else np.float64
+        y = y.astype(dtype)
+
+        lam = lambda_from_fraction(self._system, y, self.config.lam)
+        x0 = self._previous_alpha if self.warm_start else None
+        result = fista(
+            self._system,
+            y,
+            lam=lam,
+            max_iterations=self.config.max_iterations,
+            tolerance=self.config.tolerance,
+            lipschitz=self._lipschitz,
+            x0=x0,
+        )
+        if self.warm_start:
+            self._previous_alpha = result.coefficients
+
+        signal = self.transform.inverse(result.coefficients)
+        samples = np.asarray(signal, dtype=np.float64) + self.dc_offset
+        elapsed = time.perf_counter() - started
+        return DecodedPacket(
+            sequence=packet.sequence,
+            samples_adu=samples,
+            measurements=np.asarray(y, dtype=np.float64),
+            solver=result,
+            decode_seconds=elapsed,
+        )
+
+    def decode_bytes(self, wire: bytes) -> DecodedPacket:
+        """Parse a wire packet (with CRC check) and decode it."""
+        return self.decode(EncodedPacket.from_bytes(wire))

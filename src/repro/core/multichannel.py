@@ -1,0 +1,129 @@
+"""Multi-lead streaming: both MIT-BIH channels through paired systems.
+
+The MIT-BIH records are two-channel; a deployed monitor compresses
+every lead.  :class:`MultiChannelMonitor` runs one matched
+encoder/decoder pair per lead (sharing the configuration but using
+per-lead sensing seeds, so simultaneous packet losses do not correlate
+across leads) and aggregates bandwidth/quality statistics — the node's
+radio carries the *sum* of all leads' packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..coding import Codebook
+from ..config import SystemConfig
+from ..ecg.records import Record
+from ..errors import ConfigurationError
+from ..metrics import compression_ratio
+from .system import EcgMonitorSystem, StreamResult
+
+
+@dataclass
+class MultiChannelResult:
+    """Aggregate of the per-lead stream results."""
+
+    per_channel: list[StreamResult] = field(default_factory=list)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of leads streamed."""
+        return len(self.per_channel)
+
+    @property
+    def total_bits(self) -> int:
+        """Radio payload across all leads."""
+        return sum(
+            sum(p.packet_bits for p in result.packets)
+            for result in self.per_channel
+        )
+
+    @property
+    def compression_ratio_percent(self) -> float:
+        """CR of the combined multi-lead stream."""
+        original = sum(
+            result.config.original_packet_bits * result.num_packets
+            for result in self.per_channel
+        )
+        return compression_ratio(original, self.total_bits)
+
+    @property
+    def worst_channel_prd_percent(self) -> float:
+        """The clinically binding quality figure: the worst lead."""
+        return max(result.mean_prd_percent for result in self.per_channel)
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average decoder iterations across leads (phone-side load)."""
+        total = sum(result.mean_iterations for result in self.per_channel)
+        return total / self.num_channels
+
+    def bits_per_second(self) -> float:
+        """Sustained radio rate for the combined stream."""
+        seconds = sum(
+            result.config.packet_seconds * result.num_packets
+            for result in self.per_channel
+        ) / self.num_channels
+        if seconds == 0:
+            return 0.0
+        return self.total_bits / seconds
+
+
+class MultiChannelMonitor:
+    """One CS encoder/decoder pair per ECG lead."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        channels: int = 2,
+        codebook: Codebook | None = None,
+        precision: str = "float64",
+    ) -> None:
+        if channels < 1:
+            raise ConfigurationError(f"channels must be >= 1, got {channels}")
+        self.config = config if config is not None else SystemConfig()
+        # per-lead seeds decorrelate the sensing patterns across leads
+        self.systems = [
+            EcgMonitorSystem(
+                self.config.replace(seed=self.config.seed + channel),
+                codebook=codebook,
+                precision=precision,
+            )
+            for channel in range(channels)
+        ]
+
+    @property
+    def num_channels(self) -> int:
+        """Number of leads this monitor compresses."""
+        return len(self.systems)
+
+    def calibrate(self, record: Record) -> None:
+        """Train every lead's codebook on its own channel."""
+        for channel, system in enumerate(self.systems):
+            if channel < record.num_channels:
+                system.calibrate(record, channel=channel)
+
+    def stream(
+        self,
+        record: Record,
+        max_packets: int | None = None,
+        keep_signals: bool = False,
+    ) -> MultiChannelResult:
+        """Stream every available lead of a record."""
+        if record.num_channels < self.num_channels:
+            raise ConfigurationError(
+                f"record has {record.num_channels} channels, "
+                f"monitor expects {self.num_channels}"
+            )
+        result = MultiChannelResult()
+        for channel, system in enumerate(self.systems):
+            result.per_channel.append(
+                system.stream(
+                    record,
+                    channel=channel,
+                    max_packets=max_packets,
+                    keep_signals=keep_signals,
+                )
+            )
+        return result

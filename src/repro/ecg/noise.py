@@ -1,0 +1,134 @@
+"""Ambulatory ECG noise models.
+
+MIT-BIH records are ambulatory recordings; their characteristic
+disturbances are what make ECG compression non-trivial.  Four standard
+components are modeled (amplitudes in millivolts):
+
+- **baseline wander** — respiration/electrode drift below ~0.5 Hz,
+  synthesized as a few random low-frequency sinusoids;
+- **muscle artifact (EMG)** — wideband noise, high-pass shaped;
+- **powerline interference** — 50/60 Hz plus a weaker harmonic;
+- **electrode motion** — sparse transient bumps, the hardest artifact.
+
+Each component is deterministic given the seed, and a
+:class:`NoiseRecipe` bundles per-record amplitudes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import check_positive, rng_from
+
+
+@dataclass(frozen=True)
+class NoiseRecipe:
+    """Per-record noise amplitudes (all in mV; zero disables a component)."""
+
+    baseline_wander_mv: float = 0.08
+    muscle_mv: float = 0.02
+    powerline_mv: float = 0.01
+    powerline_hz: float = 60.0
+    electrode_motion_mv: float = 0.0
+    motion_events_per_minute: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "baseline_wander_mv",
+            "muscle_mv",
+            "powerline_mv",
+            "electrode_motion_mv",
+            "motion_events_per_minute",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        check_positive(self.powerline_hz, "powerline_hz")
+
+
+class NoiseModel:
+    """Render the four noise components for a record."""
+
+    def __init__(self, recipe: NoiseRecipe, seed: int = 0) -> None:
+        self.recipe = recipe
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def baseline_wander(self, n: int, fs_hz: float) -> np.ndarray:
+        """Sum of 3 slow sinusoids with random frequency/phase."""
+        if self.recipe.baseline_wander_mv == 0:
+            return np.zeros(n)
+        rng = rng_from(self.seed, "baseline")
+        t = np.arange(n) / fs_hz
+        wander = np.zeros(n)
+        for weight, band in ((1.0, (0.05, 0.15)), (0.6, (0.15, 0.30)), (0.3, (0.30, 0.45))):
+            frequency = rng.uniform(*band)
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            wander += weight * np.sin(2.0 * math.pi * frequency * t + phase)
+        wander /= np.max(np.abs(wander)) if np.max(np.abs(wander)) > 0 else 1.0
+        return self.recipe.baseline_wander_mv * wander
+
+    def muscle_artifact(self, n: int, fs_hz: float) -> np.ndarray:
+        """High-pass-shaped white noise (first difference of white noise)."""
+        if self.recipe.muscle_mv == 0:
+            return np.zeros(n)
+        rng = rng_from(self.seed, "muscle")
+        white = rng.standard_normal(n + 1)
+        shaped = np.diff(white)  # emphasizes high frequencies
+        shaped /= np.std(shaped)
+        return self.recipe.muscle_mv * shaped
+
+    def powerline(self, n: int, fs_hz: float) -> np.ndarray:
+        """Mains interference: fundamental plus a weak 2nd harmonic."""
+        if self.recipe.powerline_mv == 0:
+            return np.zeros(n)
+        rng = rng_from(self.seed, "powerline")
+        t = np.arange(n) / fs_hz
+        phase = rng.uniform(0.0, 2.0 * math.pi)
+        fundamental = np.sin(2.0 * math.pi * self.recipe.powerline_hz * t + phase)
+        harmonic = 0.3 * np.sin(
+            2.0 * math.pi * 2.0 * self.recipe.powerline_hz * t + 2.0 * phase
+        )
+        return self.recipe.powerline_mv * (fundamental + harmonic)
+
+    def electrode_motion(self, n: int, fs_hz: float) -> np.ndarray:
+        """Sparse, asymmetric transient bumps (electrode pops)."""
+        if self.recipe.electrode_motion_mv == 0:
+            return np.zeros(n)
+        rng = rng_from(self.seed, "motion")
+        duration_min = n / fs_hz / 60.0
+        expected = self.recipe.motion_events_per_minute * duration_min
+        count = int(rng.poisson(max(expected, 0.0)))
+        signal = np.zeros(n)
+        t = np.arange(n) / fs_hz
+        for _ in range(count):
+            center = rng.uniform(0.0, n / fs_hz)
+            rise = rng.uniform(0.05, 0.2)
+            decay = rng.uniform(0.3, 1.2)
+            amplitude = self.recipe.electrode_motion_mv * rng.uniform(0.5, 1.5)
+            sign = 1.0 if rng.uniform() < 0.5 else -1.0
+            dt = t - center
+            # exponent clipped at 0 on each side so np.where never
+            # evaluates exp on a large positive argument
+            bump = np.where(
+                dt < 0,
+                np.exp(np.minimum(dt, 0.0) / rise),
+                np.exp(-np.maximum(dt, 0.0) / decay),
+            )
+            signal += sign * amplitude * bump
+        return signal
+
+    # ------------------------------------------------------------------
+    def render(self, n: int, fs_hz: float) -> np.ndarray:
+        """All components summed, length ``n`` at ``fs_hz``."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        check_positive(fs_hz, "fs_hz")
+        return (
+            self.baseline_wander(n, fs_hz)
+            + self.muscle_artifact(n, fs_hz)
+            + self.powerline(n, fs_hz)
+            + self.electrode_motion(n, fs_hz)
+        )

@@ -1,0 +1,67 @@
+"""Sampling-rate conversion: the paper's 360 Hz -> 256 Hz front end.
+
+The MIT-BIH records (360 Hz) are "re-sampled at 256 Hz" before being
+fed to the Shimmer over its serial port (Section IV-A1).  The conversion
+360 -> 256 is the rational ratio 32/45, implemented as a polyphase
+up-by-32 / FIR low-pass / down-by-45 chain via
+:func:`scipy.signal.resample_poly` (Kaiser-windowed anti-aliasing FIR).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.signal
+
+from ..utils import check_positive
+from .records import Record
+
+
+def rational_ratio(fs_in: float, fs_out: float) -> tuple[int, int]:
+    """Reduced ``(up, down)`` integers for a rate conversion."""
+    check_positive(fs_in, "fs_in")
+    check_positive(fs_out, "fs_out")
+    # Work on a milli-hertz grid so non-integer rates are representable.
+    up = int(round(fs_out * 1000))
+    down = int(round(fs_in * 1000))
+    divisor = math.gcd(up, down)
+    return up // divisor, down // divisor
+
+
+def resample_signal(
+    signal: np.ndarray, fs_in: float, fs_out: float
+) -> np.ndarray:
+    """Resample a 1-D signal between arbitrary rational rates."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError(f"signal must be 1-D, got shape {signal.shape}")
+    if signal.size < 2:
+        raise ValueError("signal must have at least 2 samples")
+    up, down = rational_ratio(fs_in, fs_out)
+    if up == down:
+        return signal.copy()
+    return scipy.signal.resample_poly(signal, up, down)
+
+
+def resample_record(record: Record, fs_out: float = 256.0) -> Record:
+    """Resample all channels of a record; annotations are re-indexed."""
+    check_positive(fs_out, "fs_out")
+    channels = [
+        resample_signal(record.channel(i), record.fs_hz, fs_out)
+        for i in range(record.num_channels)
+    ]
+    ratio = fs_out / record.fs_hz
+    annotations = [
+        type(a)(sample=int(round(a.sample * ratio)), symbol=a.symbol)
+        for a in record.annotations
+        if int(round(a.sample * ratio)) < len(channels[0])
+    ]
+    return Record(
+        name=record.name,
+        fs_hz=fs_out,
+        signals_mv=np.vstack(channels),
+        annotations=annotations,
+        adc=record.adc,
+        rhythm=record.rhythm,
+    )

@@ -1,0 +1,442 @@
+"""Per-beat template engine and rhythm presets.
+
+The MIT-BIH records contain arrhythmias (PVCs, APCs, bigeminy, atrial
+fibrillation, paced rhythms).  To synthesize them deterministically and
+quickly, each beat is rendered as a sum of Gaussian waves (P, Q, R, S, T)
+anchored to the R-wave time, with per-beat-type morphology and rhythm
+models that emit the beat schedule (R times, RR intervals, beat labels).
+
+Wave timing follows physiology: P and QRS offsets are fixed relative to
+R, while the T wave follows a Bazett-like sqrt(RR) scaling of the QT
+interval.  Two simultaneous leads are produced from two morphology
+tables (a lead-II-like and a V1-like projection).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils import check_positive, rng_from
+
+
+@dataclass(frozen=True)
+class GaussianWave:
+    """One wave of a beat template, anchored to the R peak.
+
+    ``offset_s`` is the wave-center offset from R (negative = before);
+    waves marked ``scales_with_rr`` (the T wave) move as ``sqrt(RR)``.
+    """
+
+    amplitude_mv: float
+    offset_s: float
+    sigma_s: float
+    scales_with_rr: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.sigma_s, "sigma_s")
+
+
+@dataclass(frozen=True)
+class BeatTemplate:
+    """Morphology of one beat type on one lead."""
+
+    label: str
+    waves: tuple[GaussianWave, ...]
+
+    def render_into(
+        self,
+        signal: np.ndarray,
+        fs_hz: float,
+        r_time_s: float,
+        rr_s: float,
+    ) -> None:
+        """Add this beat to ``signal`` (in place), windowed for speed."""
+        n = len(signal)
+        rr_scale = math.sqrt(max(rr_s, 0.2))
+        for wave in self.waves:
+            offset = wave.offset_s * (rr_scale if wave.scales_with_rr else 1.0)
+            center = r_time_s + offset
+            half_window = 5.0 * wave.sigma_s
+            start = max(0, int((center - half_window) * fs_hz))
+            stop = min(n, int((center + half_window) * fs_hz) + 1)
+            if stop <= start:
+                continue
+            t = np.arange(start, stop) / fs_hz
+            signal[start:stop] += wave.amplitude_mv * np.exp(
+                -((t - center) ** 2) / (2.0 * wave.sigma_s**2)
+            )
+
+
+def _normal_lead2() -> BeatTemplate:
+    return BeatTemplate(
+        label="N",
+        waves=(
+            GaussianWave(0.15, -0.17, 0.028),  # P
+            GaussianWave(-0.12, -0.035, 0.010),  # Q
+            GaussianWave(1.10, 0.0, 0.011),  # R
+            GaussianWave(-0.28, 0.035, 0.011),  # S
+            GaussianWave(0.32, 0.30, 0.055, scales_with_rr=True),  # T
+        ),
+    )
+
+
+def _normal_v1() -> BeatTemplate:
+    return BeatTemplate(
+        label="N",
+        waves=(
+            GaussianWave(0.06, -0.17, 0.028),  # P (small, biphasic-ish)
+            GaussianWave(0.25, -0.012, 0.010),  # r
+            GaussianWave(-0.85, 0.020, 0.013),  # S (deep, rS pattern)
+            GaussianWave(0.10, 0.30, 0.055, scales_with_rr=True),  # T
+        ),
+    )
+
+
+def _pvc_lead2() -> BeatTemplate:
+    return BeatTemplate(
+        label="V",
+        waves=(
+            # no P wave; wide bizarre QRS; discordant (inverted) T
+            GaussianWave(1.45, 0.0, 0.030),
+            GaussianWave(-0.55, 0.075, 0.032),
+            GaussianWave(-0.45, 0.34, 0.075, scales_with_rr=True),
+        ),
+    )
+
+
+def _pvc_v1() -> BeatTemplate:
+    return BeatTemplate(
+        label="V",
+        waves=(
+            GaussianWave(-1.20, 0.0, 0.032),
+            GaussianWave(0.40, 0.080, 0.035),
+            GaussianWave(0.35, 0.34, 0.075, scales_with_rr=True),
+        ),
+    )
+
+
+def _apc_lead2() -> BeatTemplate:
+    return BeatTemplate(
+        label="A",
+        waves=(
+            GaussianWave(0.10, -0.15, 0.022),  # earlier, smaller P
+            GaussianWave(-0.12, -0.035, 0.010),
+            GaussianWave(1.05, 0.0, 0.011),
+            GaussianWave(-0.28, 0.035, 0.011),
+            GaussianWave(0.30, 0.30, 0.055, scales_with_rr=True),
+        ),
+    )
+
+
+def _apc_v1() -> BeatTemplate:
+    return BeatTemplate(
+        label="A",
+        waves=(
+            GaussianWave(0.04, -0.15, 0.022),
+            GaussianWave(0.24, -0.012, 0.010),
+            GaussianWave(-0.82, 0.020, 0.013),
+            GaussianWave(0.10, 0.30, 0.055, scales_with_rr=True),
+        ),
+    )
+
+
+def _af_lead2() -> BeatTemplate:
+    return BeatTemplate(
+        label="N",
+        waves=(
+            # conducted beat in AF: narrow QRS, no P wave
+            GaussianWave(-0.12, -0.035, 0.010),
+            GaussianWave(1.05, 0.0, 0.011),
+            GaussianWave(-0.26, 0.035, 0.011),
+            GaussianWave(0.28, 0.30, 0.055, scales_with_rr=True),
+        ),
+    )
+
+
+def _af_v1() -> BeatTemplate:
+    return BeatTemplate(
+        label="N",
+        waves=(
+            GaussianWave(0.24, -0.012, 0.010),
+            GaussianWave(-0.80, 0.020, 0.013),
+            GaussianWave(0.10, 0.30, 0.055, scales_with_rr=True),
+        ),
+    )
+
+
+def _paced_lead2() -> BeatTemplate:
+    return BeatTemplate(
+        label="/",
+        waves=(
+            GaussianWave(0.80, -0.045, 0.004),  # pacing spike
+            GaussianWave(1.00, 0.0, 0.028),  # wide paced QRS
+            GaussianWave(-0.40, 0.08, 0.030),
+            GaussianWave(-0.35, 0.34, 0.070, scales_with_rr=True),
+        ),
+    )
+
+
+def _paced_v1() -> BeatTemplate:
+    return BeatTemplate(
+        label="/",
+        waves=(
+            GaussianWave(0.60, -0.045, 0.004),
+            GaussianWave(-0.95, 0.0, 0.030),
+            GaussianWave(0.35, 0.08, 0.032),
+            GaussianWave(0.30, 0.34, 0.070, scales_with_rr=True),
+        ),
+    )
+
+
+#: Beat-type -> per-lead templates (lead II-like, V1-like).
+TEMPLATES: dict[str, tuple[BeatTemplate, BeatTemplate]] = {
+    "N": (_normal_lead2(), _normal_v1()),
+    "V": (_pvc_lead2(), _pvc_v1()),
+    "A": (_apc_lead2(), _apc_v1()),
+    "N_af": (_af_lead2(), _af_v1()),
+    "/": (_paced_lead2(), _paced_v1()),
+}
+
+
+@dataclass(frozen=True)
+class Beat:
+    """One scheduled beat: R-peak time, its RR interval and type label."""
+
+    r_time_s: float
+    rr_s: float
+    label: str
+    template_key: str = ""
+
+    def key(self) -> str:
+        """Template lookup key (defaults to the label)."""
+        return self.template_key or self.label
+
+
+class RhythmModel:
+    """Base class: a rhythm emits the beat schedule for a record."""
+
+    name = "abstract"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        """Return beats with ``0 <= r_time_s < duration_s``."""
+        raise NotImplementedError
+
+    def fibrillatory_wave(
+        self, duration_s: float, fs_hz: float, seed: int
+    ) -> np.ndarray | None:
+        """Optional continuous atrial activity added to lead signals."""
+        return None
+
+
+@dataclass
+class NormalSinus(RhythmModel):
+    """Normal sinus rhythm with mild respiratory sinus arrhythmia."""
+
+    mean_hr_bpm: float = 72.0
+    hrv_fraction: float = 0.04
+    name: str = "normal-sinus"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        check_positive(duration_s, "duration_s")
+        rng = rng_from(seed, self.name)
+        mean_rr = 60.0 / self.mean_hr_bpm
+        beats: list[Beat] = []
+        t = float(rng.uniform(0.1, 0.5))
+        phase = rng.uniform(0.0, 2.0 * math.pi)
+        while t < duration_s:
+            respiratory = 1.0 + self.hrv_fraction * math.sin(
+                2.0 * math.pi * 0.25 * t + phase
+            )
+            rr = mean_rr * respiratory * (1.0 + 0.01 * rng.standard_normal())
+            rr = float(np.clip(rr, 0.3, 2.0))
+            beats.append(Beat(r_time_s=t, rr_s=rr, label="N"))
+            t += rr
+        return beats
+
+
+@dataclass
+class OccasionalPvc(RhythmModel):
+    """Sinus rhythm with random PVCs at a given per-beat probability."""
+
+    mean_hr_bpm: float = 75.0
+    pvc_probability: float = 0.08
+    coupling_fraction: float = 0.55
+    name: str = "occasional-pvc"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        rng = rng_from(seed, self.name)
+        mean_rr = 60.0 / self.mean_hr_bpm
+        beats: list[Beat] = []
+        t = float(rng.uniform(0.1, 0.5))
+        pending_compensation = False
+        while t < duration_s:
+            if pending_compensation:
+                rr = 2.0 * mean_rr * (1.0 - self.coupling_fraction) * (
+                    1.0 + 0.02 * rng.standard_normal()
+                )
+                label = "N"
+                pending_compensation = False
+            elif rng.uniform() < self.pvc_probability:
+                rr = mean_rr * self.coupling_fraction * (
+                    1.0 + 0.03 * rng.standard_normal()
+                )
+                label = "V"
+                pending_compensation = True
+            else:
+                rr = mean_rr * (1.0 + 0.03 * rng.standard_normal())
+                label = "N"
+            rr = float(np.clip(rr, 0.25, 2.5))
+            beats.append(Beat(r_time_s=t, rr_s=rr, label=label))
+            t += rr
+        return beats
+
+
+@dataclass
+class Bigeminy(RhythmModel):
+    """Ventricular bigeminy: every other beat is a PVC."""
+
+    mean_hr_bpm: float = 70.0
+    coupling_fraction: float = 0.55
+    name: str = "bigeminy"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        rng = rng_from(seed, self.name)
+        mean_rr = 60.0 / self.mean_hr_bpm
+        beats: list[Beat] = []
+        t = float(rng.uniform(0.1, 0.5))
+        is_pvc = False
+        while t < duration_s:
+            if is_pvc:
+                rr = mean_rr * (2.0 - self.coupling_fraction) * (
+                    1.0 + 0.02 * rng.standard_normal()
+                )
+                label = "V"
+            else:
+                rr = mean_rr * self.coupling_fraction * (
+                    1.0 + 0.02 * rng.standard_normal()
+                )
+                label = "N"
+            rr = float(np.clip(rr, 0.25, 2.5))
+            beats.append(Beat(r_time_s=t, rr_s=rr, label=label))
+            t += rr
+            is_pvc = not is_pvc
+        return beats
+
+
+@dataclass
+class OccasionalApc(RhythmModel):
+    """Sinus rhythm with premature atrial contractions."""
+
+    mean_hr_bpm: float = 68.0
+    apc_probability: float = 0.06
+    prematurity: float = 0.75
+    name: str = "occasional-apc"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        rng = rng_from(seed, self.name)
+        mean_rr = 60.0 / self.mean_hr_bpm
+        beats: list[Beat] = []
+        t = float(rng.uniform(0.1, 0.5))
+        while t < duration_s:
+            if rng.uniform() < self.apc_probability:
+                rr = mean_rr * self.prematurity * (
+                    1.0 + 0.03 * rng.standard_normal()
+                )
+                label = "A"
+            else:
+                rr = mean_rr * (1.0 + 0.03 * rng.standard_normal())
+                label = "N"
+            rr = float(np.clip(rr, 0.3, 2.0))
+            beats.append(Beat(r_time_s=t, rr_s=rr, label=label))
+            t += rr
+        return beats
+
+
+@dataclass
+class AtrialFibrillation(RhythmModel):
+    """AF: irregularly irregular RR, no P waves, fibrillatory baseline."""
+
+    mean_hr_bpm: float = 95.0
+    rr_spread: float = 0.22
+    f_wave_amplitude_mv: float = 0.06
+    f_wave_hz: float = 6.5
+    name: str = "atrial-fibrillation"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        rng = rng_from(seed, self.name)
+        mean_rr = 60.0 / self.mean_hr_bpm
+        beats: list[Beat] = []
+        t = float(rng.uniform(0.1, 0.4))
+        while t < duration_s:
+            # lognormal-like irregular ventricular response
+            rr = mean_rr * float(
+                np.exp(self.rr_spread * rng.standard_normal())
+            )
+            rr = float(np.clip(rr, 0.3, 2.2))
+            beats.append(
+                Beat(r_time_s=t, rr_s=rr, label="N", template_key="N_af")
+            )
+            t += rr
+        return beats
+
+    def fibrillatory_wave(
+        self, duration_s: float, fs_hz: float, seed: int
+    ) -> np.ndarray:
+        rng = rng_from(seed, self.name, "f-wave")
+        n = int(round(duration_s * fs_hz))
+        t = np.arange(n) / fs_hz
+        # frequency-modulated atrial activity
+        fm = np.cumsum(
+            2.0 * math.pi
+            * (self.f_wave_hz + 0.5 * rng.standard_normal(n) / math.sqrt(fs_hz))
+        ) / fs_hz
+        am = 1.0 + 0.3 * np.sin(2.0 * math.pi * 0.15 * t + rng.uniform(0, 6.28))
+        return self.f_wave_amplitude_mv * am * np.sin(fm)
+
+
+@dataclass
+class Paced(RhythmModel):
+    """Fixed-rate ventricular pacing with sharp pacing spikes."""
+
+    rate_bpm: float = 72.0
+    jitter_fraction: float = 0.005
+    name: str = "paced"
+
+    def generate_beats(self, duration_s: float, seed: int) -> list[Beat]:
+        rng = rng_from(seed, self.name)
+        rr = 60.0 / self.rate_bpm
+        beats: list[Beat] = []
+        t = float(rng.uniform(0.1, 0.4))
+        while t < duration_s:
+            jitter = 1.0 + self.jitter_fraction * rng.standard_normal()
+            interval = float(np.clip(rr * jitter, 0.3, 2.0))
+            beats.append(Beat(r_time_s=t, rr_s=interval, label="/"))
+            t += interval
+        return beats
+
+
+def render_beats(
+    beats: list[Beat],
+    duration_s: float,
+    fs_hz: float,
+    lead: int,
+    amplitude_scale: float = 1.0,
+) -> np.ndarray:
+    """Render a beat schedule into a continuous single-lead signal (mV)."""
+    check_positive(duration_s, "duration_s")
+    check_positive(fs_hz, "fs_hz")
+    if lead not in (0, 1):
+        raise ValueError(f"lead must be 0 or 1, got {lead}")
+    n = int(round(duration_s * fs_hz))
+    signal = np.zeros(n)
+    for beat in beats:
+        templates = TEMPLATES.get(beat.key())
+        if templates is None:
+            raise KeyError(f"no template for beat type {beat.key()!r}")
+        templates[lead].render_into(signal, fs_hz, beat.r_time_s, beat.rr_s)
+    if amplitude_scale != 1.0:
+        signal *= amplitude_scale
+    return signal

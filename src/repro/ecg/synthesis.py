@@ -1,0 +1,198 @@
+"""ECGSYN: the McSharry–Clifford dynamical ECG model.
+
+The model traces a trajectory around the unit circle in the ``(x, y)``
+plane; angular velocity is set by an RR-interval process with the
+standard bimodal (Mayer wave + respiratory) spectrum, and the ``z``
+coordinate is pushed up and down by five Gaussian events (P, Q, R, S, T)
+attached to fixed angles of the cycle:
+
+    dx/dt = gamma * x - omega * y
+    dy/dt = gamma * y + omega * x
+    dz/dt = -sum_i a_i dtheta_i exp(-dtheta_i^2 / (2 b_i^2)) - (z - z0)
+
+with ``gamma = 1 - sqrt(x^2+y^2)`` and ``dtheta_i = (theta - theta_i)``
+wrapped to ``(-pi, pi]``.  Integration uses fixed-step RK4 (deterministic
+and fast enough at 512 Hz internal rate).
+
+This is the reference generator for morphologically faithful *normal
+sinus* ECG; arrhythmia records come from the faster per-beat template
+engine in :mod:`repro.ecg.rhythms`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils import check_positive, rng_from
+
+
+@dataclass(frozen=True)
+class WaveParameters:
+    """One Gaussian event on the limit cycle (angle, amplitude, width)."""
+
+    theta: float
+    amplitude: float
+    width: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.width, "width")
+
+
+#: Default PQRST parameters from McSharry et al. (2003), Table 1.
+DEFAULT_WAVES: tuple[WaveParameters, ...] = (
+    WaveParameters(theta=-math.pi / 3.0, amplitude=1.2, width=0.25),  # P
+    WaveParameters(theta=-math.pi / 12.0, amplitude=-5.0, width=0.1),  # Q
+    WaveParameters(theta=0.0, amplitude=30.0, width=0.1),  # R
+    WaveParameters(theta=math.pi / 12.0, amplitude=-7.5, width=0.1),  # S
+    WaveParameters(theta=math.pi / 2.0, amplitude=0.75, width=0.4),  # T
+)
+
+
+@dataclass(frozen=True)
+class EcgSynParameters:
+    """Full parameter set of the ECGSYN generator."""
+
+    mean_hr_bpm: float = 60.0
+    std_hr_bpm: float = 1.0
+    lf_hf_ratio: float = 0.5
+    lf_hz: float = 0.1
+    hf_hz: float = 0.25
+    lf_width_hz: float = 0.01
+    hf_width_hz: float = 0.01
+    waves: tuple[WaveParameters, ...] = field(default=DEFAULT_WAVES)
+    internal_rate_hz: float = 512.0
+    target_r_amplitude_mv: float = 1.1
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_hr_bpm, "mean_hr_bpm")
+        if self.std_hr_bpm < 0:
+            raise ValueError(f"std_hr_bpm must be >= 0, got {self.std_hr_bpm}")
+        check_positive(self.lf_hz, "lf_hz")
+        check_positive(self.hf_hz, "hf_hz")
+        check_positive(self.internal_rate_hz, "internal_rate_hz")
+        check_positive(self.target_r_amplitude_mv, "target_r_amplitude_mv")
+
+
+def rr_process(
+    parameters: EcgSynParameters,
+    duration_s: float,
+    seed: int = 0,
+    resolution_hz: float = 8.0,
+) -> np.ndarray:
+    """RR tachogram with the bimodal LF/HF spectrum of ECGSYN.
+
+    Returns RR interval values (seconds) sampled at ``resolution_hz``.
+    The series is produced by shaping white noise with the square root
+    of the target power spectrum and applying random phases, then scaled
+    to the requested mean/std heart rate.
+    """
+    check_positive(duration_s, "duration_s")
+    check_positive(resolution_hz, "resolution_hz")
+    samples = max(16, int(round(duration_s * resolution_hz)))
+    frequencies = np.fft.rfftfreq(samples, d=1.0 / resolution_hz)
+
+    def gaussian_band(center: float, width: float, power: float) -> np.ndarray:
+        return power / math.sqrt(2.0 * math.pi * width**2) * np.exp(
+            -((frequencies - center) ** 2) / (2.0 * width**2)
+        )
+
+    sigma2_lf = parameters.lf_hf_ratio
+    sigma2_hf = 1.0
+    spectrum = gaussian_band(
+        parameters.lf_hz, parameters.lf_width_hz, sigma2_lf
+    ) + gaussian_band(parameters.hf_hz, parameters.hf_width_hz, sigma2_hf)
+
+    rng = rng_from(seed, "rr-process", samples)
+    phases = rng.uniform(0.0, 2.0 * math.pi, size=len(frequencies))
+    amplitude = np.sqrt(spectrum)
+    half_complex = amplitude * np.exp(1j * phases)
+    half_complex[0] = 0.0
+    if samples % 2 == 0:
+        half_complex[-1] = np.abs(half_complex[-1])
+    series = np.fft.irfft(half_complex, n=samples)
+
+    std = float(np.std(series))
+    if std > 0:
+        series = series / std
+
+    mean_rr = 60.0 / parameters.mean_hr_bpm
+    # delta-method mapping of HR std to RR std around the mean
+    std_rr = parameters.std_hr_bpm * mean_rr / parameters.mean_hr_bpm
+    rr = mean_rr + std_rr * series
+    return np.clip(rr, 0.2, 3.0)
+
+
+def ecgsyn(
+    duration_s: float,
+    parameters: EcgSynParameters | None = None,
+    fs_hz: float = 360.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate ``duration_s`` seconds of single-lead ECG in millivolts.
+
+    The trajectory is integrated by RK4 at ``parameters.internal_rate_hz``
+    and then decimated/interpolated to ``fs_hz``.  Output amplitude is
+    normalized so the R peak reaches ``target_r_amplitude_mv``.
+    """
+    if parameters is None:
+        parameters = EcgSynParameters()
+    check_positive(duration_s, "duration_s")
+    check_positive(fs_hz, "fs_hz")
+
+    dt = 1.0 / parameters.internal_rate_hz
+    steps = int(round(duration_s * parameters.internal_rate_hz))
+    if steps < 2:
+        raise ValueError("duration too short for the internal rate")
+
+    rr_resolution = 8.0
+    rr = rr_process(parameters, duration_s + 2.0, seed=seed, resolution_hz=rr_resolution)
+    rr_times = np.arange(len(rr)) / rr_resolution
+
+    thetas = np.array([w.theta for w in parameters.waves])
+    amplitudes = np.array([w.amplitude for w in parameters.waves])
+    widths = np.array([w.width for w in parameters.waves])
+
+    def derivative(state: np.ndarray, omega: float) -> np.ndarray:
+        x, y, z = state
+        gamma = 1.0 - math.sqrt(x * x + y * y)
+        dx = gamma * x - omega * y
+        dy = gamma * y + omega * x
+        theta = math.atan2(y, x)
+        dtheta = np.mod(theta - thetas + math.pi, 2.0 * math.pi) - math.pi
+        dz = -float(
+            np.sum(amplitudes * dtheta * np.exp(-(dtheta**2) / (2.0 * widths**2)))
+        ) - 0.5 * z
+        return np.array([dx, dy, dz])
+
+    state = np.array([-1.0, 0.0, 0.0])
+    trace = np.empty(steps)
+    time_s = 0.0
+    rr_index = 0
+    for step in range(steps):
+        # piecewise-constant omega from the RR series (held over ~125 ms)
+        while rr_index + 1 < len(rr_times) and rr_times[rr_index + 1] <= time_s:
+            rr_index += 1
+        omega = 2.0 * math.pi / float(rr[rr_index])
+
+        k1 = derivative(state, omega)
+        k2 = derivative(state + 0.5 * dt * k1, omega)
+        k3 = derivative(state + 0.5 * dt * k2, omega)
+        k4 = derivative(state + dt * k3, omega)
+        state = state + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        trace[step] = state[2]
+        time_s += dt
+
+    # resample to the requested rate by linear interpolation (the signal
+    # was produced well above fs_hz, so aliasing is negligible)
+    t_internal = np.arange(steps) * dt
+    t_out = np.arange(int(round(duration_s * fs_hz))) / fs_hz
+    signal = np.interp(t_out, t_internal, trace)
+
+    signal = signal - np.median(signal)
+    peak = float(np.max(np.abs(signal)))
+    if peak > 0:
+        signal = signal * (parameters.target_r_amplitude_mv / peak)
+    return signal

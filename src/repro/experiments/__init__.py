@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per paper figure/claim.
+
+Each driver is a plain function returning structured rows (dicts), so
+the same code serves the pytest benchmarks, the examples, and the
+EXPERIMENTS.md generation.  All drivers accept sizing knobs (records,
+packets per record) so the test-suite can run them on tiny workloads.
+"""
+
+from .sweeps import SweepOutcome, run_cr_sweep, sweep_database
+from .fig2 import run_fig2
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .encoder_budget import run_encoder_budget
+from .ablation_simd import run_simd_ablation
+from .ablation_sensing import run_sensing_ablation
+from .ablation_wavelet import run_wavelet_ablation, run_level_ablation
+from .ablation_quantizer import run_quantizer_ablation
+from .ablation_alternatives import (
+    run_entropy_coder_ablation,
+    run_sensing_structure_ablation,
+)
+from .reporting import render_table
+
+__all__ = [
+    "run_wavelet_ablation",
+    "run_level_ablation",
+    "run_quantizer_ablation",
+    "run_entropy_coder_ablation",
+    "run_sensing_structure_ablation",
+    "SweepOutcome",
+    "run_cr_sweep",
+    "sweep_database",
+    "run_fig2",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_encoder_budget",
+    "run_simd_ablation",
+    "run_sensing_ablation",
+    "render_table",
+]

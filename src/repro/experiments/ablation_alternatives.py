@@ -1,0 +1,125 @@
+"""Extension ablation: alternative entropy coders and sensing structures.
+
+Two "what if" designs the paper's team could have shipped instead:
+
+- **Rice coding** instead of the trained Huffman codebook — zero flash
+  for tables (saves the 1.5 kB) at a small bit-rate cost;
+- **LFSR-circulant sensing** instead of sparse binary — one stored row
+  (66 B) instead of per-column index regeneration, at some recovery
+  cost under aggressive undersampling.
+
+Both are compared end to end at the paper's operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding import RiceCoder
+from ..config import SystemConfig
+from ..core import CSEncoder
+from ..ecg import SyntheticMitBih
+from ..ecg.resample import resample_record
+from ..metrics import prd as prd_metric
+from ..sensing import LfsrCirculantMatrix, SparseBinaryMatrix
+from ..solvers import fista, lambda_from_fraction
+from ..solvers.lipschitz import lipschitz_constant
+from ..wavelet import WaveletTransform
+from .sweeps import sweep_database
+
+
+def run_entropy_coder_ablation(
+    record_name: str = "100",
+    packets: int = 10,
+    database: SyntheticMitBih | None = None,
+) -> dict[str, float]:
+    """Bits per difference packet: trained Huffman vs adaptive Rice."""
+    database = database if database is not None else sweep_database()
+    config = SystemConfig()
+    record = resample_record(database.load(record_name), 256.0)
+    samples = record.adc.digitize(record.channel(0))
+    windows = [
+        samples[i * config.n : (i + 1) * config.n]
+        for i in range(min(packets + 1, len(samples) // config.n))
+    ]
+
+    encoder = CSEncoder(config)
+    encoder.reset()
+    encoder.encode(windows[0])  # keyframe primes the reference
+    rice = RiceCoder()
+    huffman_bits = 0
+    rice_bits = 0
+    count = 0
+    for window in windows[1:]:
+        y_q = encoder.measure(window)
+        _, diff = encoder.codec.encode(y_q)
+        values = [int(v) for v in diff]
+        frequencies = [0] * encoder.codebook.num_symbols
+        for value in values:
+            frequencies[encoder.codebook.symbol_for(value)] += 1
+        huffman_bits += int(encoder.codebook.code.expected_bits(frequencies))
+        rice_bits += rice.encoded_bits(values)
+        count += 1
+    return {
+        "packets": float(count),
+        "huffman_bits_per_packet": huffman_bits / count,
+        "rice_bits_per_packet": rice_bits / count,
+        "rice_overhead_percent": (rice_bits / huffman_bits - 1.0) * 100.0,
+        "huffman_flash_bytes": 1536.0,
+        "rice_flash_bytes": 0.0,
+    }
+
+
+def run_sensing_structure_ablation(
+    record_name: str = "100",
+    packets: int = 6,
+    nominal_crs: tuple[float, ...] = (50.0, 75.0),
+    database: SyntheticMitBih | None = None,
+) -> list[dict[str, float]]:
+    """Recovery PRD of sparse binary vs LFSR-circulant sensing."""
+    database = database if database is not None else sweep_database()
+    base = SystemConfig()
+    record = resample_record(database.load(record_name), 256.0)
+    samples = record.adc.digitize(record.channel(0))
+    transform = WaveletTransform(base.n, base.wavelet, base.levels)
+    psi = transform.synthesis_matrix()
+
+    rows: list[dict[str, float]] = []
+    for nominal in nominal_crs:
+        config = base.with_target_cr(nominal)
+        matrices = {
+            "sparse-binary": SparseBinaryMatrix(
+                config.m, config.n, d=config.d, seed=config.seed
+            ),
+            "lfsr-circulant": LfsrCirculantMatrix(
+                config.m, config.n, seed=config.seed
+            ),
+        }
+        for name, phi in matrices.items():
+            system = phi.matrix() @ psi
+            lipschitz = lipschitz_constant(system)
+            prds = []
+            for index in range(min(packets, len(samples) // config.n)):
+                x = samples[index * config.n : (index + 1) * config.n].astype(
+                    np.float64
+                ) - 1024
+                y = phi.measure(x)
+                lam = lambda_from_fraction(system, y, config.lam)
+                result = fista(
+                    system, y, lam,
+                    max_iterations=config.max_iterations,
+                    tolerance=config.tolerance,
+                    lipschitz=lipschitz,
+                )
+                prds.append(
+                    prd_metric(x, transform.inverse(result.coefficients))
+                )
+            rows.append(
+                {
+                    "matrix": name,
+                    "nominal_cr": nominal,
+                    "prd_percent": float(np.mean(prds)),
+                    "storage_bits": float(phi.storage_bits()),
+                }
+            )
+    return rows

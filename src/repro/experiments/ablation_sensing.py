@@ -1,0 +1,58 @@
+"""Section IV-A d-choice ablation: why d = 12.
+
+Sweeps the sparse binary column weight d over recovery quality (SNR via
+the full system) and MSP430 sensing time.  The paper: "d = 12 was
+identified as the minimum value that [gives] the optimal trade-off
+between execution time (... 82 ms) and recovery/reconstruction error."
+Smaller d is proportionally faster but loses SNR; larger d costs time
+with diminishing SNR returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import SystemConfig
+from ..core import EcgMonitorSystem
+from ..ecg import SyntheticMitBih
+from ..platforms.msp430 import Msp430Model
+from ..sensing import SparseBinaryMatrix, mutual_coherence
+from .sweeps import sweep_database
+
+
+def run_sensing_ablation(
+    d_values: tuple[int, ...] = (2, 4, 6, 8, 10, 12, 16, 24),
+    nominal_cr: float = 50.0,
+    records: tuple[str, ...] | None = None,
+    packets_per_record: int = 8,
+    database: SyntheticMitBih | None = None,
+) -> list[dict[str, float]]:
+    """SNR / time / storage trade-off over the column weight d."""
+    database = database if database is not None else sweep_database()
+    if records is None:
+        records = database.subset(3)
+    mcu = Msp430Model()
+    calibration = database.load("100")
+
+    rows: list[dict[str, float]] = []
+    for d in d_values:
+        config = replace(SystemConfig().with_target_cr(nominal_cr), d=d)
+        system = EcgMonitorSystem(config)
+        system.calibrate(calibration)
+        snrs: list[float] = []
+        for name in records:
+            stream = system.stream(
+                database.load(name), max_packets=packets_per_record
+            )
+            snrs.append(stream.mean_snr_db)
+        matrix = SparseBinaryMatrix(config.m, config.n, d=d, seed=config.seed)
+        rows.append(
+            {
+                "d": float(d),
+                "snr_db": sum(snrs) / len(snrs),
+                "sensing_time_ms": mcu.sensing_time_s(config) * 1e3,
+                "coherence": mutual_coherence(matrix.matrix()),
+                "additions_per_packet": float(matrix.additions_per_packet()),
+            }
+        )
+    return rows

@@ -1,0 +1,52 @@
+"""Figure 6: 32-bit iPhone decoder vs 64-bit Matlab decoder.
+
+Runs the identical full pipeline twice, once with a float64 FISTA
+(the Matlab reference) and once with float32 (the iPhone build), and
+reports average PRD against the measured CR.  The paper's claim is that
+the two curves coincide — single precision costs nothing.
+"""
+
+from __future__ import annotations
+
+from ..ecg import SyntheticMitBih
+from .sweeps import run_cr_sweep, sweep_database
+
+
+def run_fig6(
+    nominal_crs: tuple[float, ...] = (30.0, 40.0, 50.0, 60.0, 70.0, 80.0),
+    records: tuple[str, ...] | None = None,
+    packets_per_record: int = 10,
+    database: SyntheticMitBih | None = None,
+) -> list[dict[str, float]]:
+    """Reproduce Figure 6; returns one row per nominal CR."""
+    database = database if database is not None else sweep_database()
+    if records is None:
+        records = database.subset(5)
+
+    rows: list[dict[str, float]] = []
+    by_precision = {}
+    for precision in ("float64", "float32"):
+        by_precision[precision] = run_cr_sweep(
+            nominal_crs=nominal_crs,
+            records=records,
+            packets_per_record=packets_per_record,
+            precision=precision,
+            database=database,
+        )
+    for outcome64, outcome32 in zip(
+        by_precision["float64"], by_precision["float32"]
+    ):
+        summary64 = outcome64.summary()
+        summary32 = outcome32.summary()
+        rows.append(
+            {
+                "nominal_cr": outcome64.nominal_cr,
+                "measured_cr": outcome64.measured_cr,
+                "prd64_percent": summary64["prd_percent"],
+                "prd32_percent": summary32["prd_percent"],
+                "prd_gap_percent": abs(
+                    summary64["prd_percent"] - summary32["prd_percent"]
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,32 @@
+"""Evaluation metrics (paper Section III)."""
+
+from .quality import (
+    compression_ratio,
+    prd,
+    prdn,
+    snr_db,
+    snr_from_prd,
+    rmse,
+    quality_band,
+    QUALITY_BANDS,
+)
+from .stats import SweepPoint, aggregate_points, format_series
+from .diagnostic import DiagnosticReport, HrvSummary, diagnostic_report, hrv_summary
+
+__all__ = [
+    "DiagnosticReport",
+    "HrvSummary",
+    "diagnostic_report",
+    "hrv_summary",
+    "compression_ratio",
+    "prd",
+    "prdn",
+    "snr_db",
+    "snr_from_prd",
+    "rmse",
+    "quality_band",
+    "QUALITY_BANDS",
+    "SweepPoint",
+    "aggregate_points",
+    "format_series",
+]

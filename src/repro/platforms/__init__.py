@@ -1,0 +1,56 @@
+"""Embedded-platform substrate: cycle-level cost and energy models.
+
+The paper's real-time claims are statements about two processors:
+
+- the Shimmer mote's TI **MSP430F1611** (16-bit, 8 MHz, no FPU,
+  hardware multiplier, 10 kB RAM / 48 kB flash) running the encoder;
+- the iPhone 3GS's ARM **Cortex-A8** (600 MHz, VFPLite scalar floating
+  point, NEON 128-bit SIMD) running the FISTA decoder.
+
+Neither processor is available here, so both are modeled analytically:
+every kernel of the encoder/decoder is described by explicit operation
+counts (:mod:`repro.platforms.kernels`), and per-platform cycle tables
+translate counts into time and energy.  Each model carries exactly one
+documented calibration factor pinned to a *published* anchor number
+(82 ms node-side sensing; the 800/2000-iteration real-time budgets),
+after which every other quantity — CPU loads, the 2.43x NEON speedup,
+the 12.9 % lifetime extension — must *follow* from the model.
+"""
+
+from .kernels import KernelCounts, KernelReport
+from .msp430 import Msp430Model, SensingApproach
+from .memory import MemoryMap, MemoryRegion, encoder_memory_map
+from .cortexa8 import CortexA8Model, DecodePipeline
+from .neon import (
+    LeftoverStrategy,
+    leftover_strategy_cycles,
+    if_conversion_cycles,
+    loop_nest_instruction_counts,
+    simulate_leftover_strategies,
+)
+from .bluetooth import BluetoothLink
+from .battery import Battery
+from .shimmer import ShimmerNode, NodePowerBreakdown
+from .iphone import IPhoneModel
+
+__all__ = [
+    "KernelCounts",
+    "KernelReport",
+    "Msp430Model",
+    "SensingApproach",
+    "MemoryMap",
+    "MemoryRegion",
+    "encoder_memory_map",
+    "CortexA8Model",
+    "DecodePipeline",
+    "LeftoverStrategy",
+    "leftover_strategy_cycles",
+    "if_conversion_cycles",
+    "loop_nest_instruction_counts",
+    "simulate_leftover_strategies",
+    "BluetoothLink",
+    "Battery",
+    "ShimmerNode",
+    "NodePowerBreakdown",
+    "IPhoneModel",
+]

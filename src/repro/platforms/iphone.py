@@ -1,0 +1,95 @@
+"""The iPhone 3GS coordinator: Cortex-A8 decoder + display pipeline.
+
+Combines the Cortex-A8 cycle model with the display-refresh task of the
+paper's producer/consumer application (the second thread wakes every
+15 ms to draw 4 new pixels) into coordinator-level quantities: decode
+time per packet, total CPU usage (the "17.7 % at CR 50" claim) and the
+real-time iteration caps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..errors import PlatformModelError
+from .cortexa8 import CortexA8Model, DecodePipeline
+
+
+@dataclass(frozen=True)
+class IPhoneModel:
+    """Coordinator timing model (decode + display threads)."""
+
+    cpu: CortexA8Model = field(default_factory=CortexA8Model)
+    #: display-thread period (paper: called every 15 ms)
+    display_period_s: float = 0.015
+    #: pixels drawn per wakeup (paper: 4 new pixels)
+    pixels_per_wakeup: int = 4
+    #: CPU time per display wakeup (UIKit/Quartz path, measured-order)
+    display_wakeup_cpu_s: float = 0.00026
+    #: decode budget per 2 s packet for real-time operation
+    decode_budget_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.display_period_s <= 0:
+            raise PlatformModelError(
+                f"display_period_s must be positive, got {self.display_period_s}"
+            )
+        if self.pixels_per_wakeup < 1:
+            raise PlatformModelError(
+                f"pixels_per_wakeup must be >= 1, got {self.pixels_per_wakeup}"
+            )
+        if self.display_wakeup_cpu_s < 0 or self.decode_budget_s <= 0:
+            raise PlatformModelError("invalid timing parameters")
+
+    # ------------------------------------------------------------------
+    def decode_time_s(
+        self,
+        config: SystemConfig,
+        iterations: float,
+        pipeline: DecodePipeline = DecodePipeline.NEON_OPTIMIZED,
+    ) -> float:
+        """Modeled decode time of one packet on the phone."""
+        return self.cpu.decode_time_s(config, iterations, pipeline)
+
+    def display_cpu_fraction(self) -> float:
+        """CPU share of the drawing thread."""
+        return self.display_wakeup_cpu_s / self.display_period_s
+
+    def cpu_usage_percent(
+        self,
+        config: SystemConfig,
+        iterations: float,
+        pipeline: DecodePipeline = DecodePipeline.NEON_OPTIMIZED,
+    ) -> float:
+        """Total coordinator CPU percent: decoder duty + display thread."""
+        decode_fraction = self.decode_time_s(config, iterations, pipeline) / (
+            config.packet_seconds
+        )
+        return 100.0 * (decode_fraction + self.display_cpu_fraction())
+
+    def is_realtime(
+        self,
+        config: SystemConfig,
+        iterations: float,
+        pipeline: DecodePipeline = DecodePipeline.NEON_OPTIMIZED,
+    ) -> bool:
+        """Whether decoding meets the 1 s / 2 s packet budget."""
+        return self.decode_time_s(config, iterations, pipeline) <= self.decode_budget_s
+
+    def max_realtime_iterations(
+        self, config: SystemConfig, pipeline: DecodePipeline
+    ) -> int:
+        """Iteration cap within the decode budget (paper: 800 vs 2000)."""
+        return self.cpu.max_realtime_iterations(
+            config, pipeline, self.decode_budget_s
+        )
+
+    # ------------------------------------------------------------------
+    def display_pixel_rate_hz(self) -> float:
+        """Pixels per second drawn by the display thread."""
+        return self.pixels_per_wakeup / self.display_period_s
+
+    def buffer_requirement_s(self) -> float:
+        """Shared-buffer depth: 2 s read + 2 s write + 2 s display latency."""
+        return 6.0

@@ -1,0 +1,113 @@
+"""The Shimmer node: MCU + radio + battery composition.
+
+Combines the :class:`~repro.platforms.msp430.Msp430Model`,
+:class:`~repro.platforms.bluetooth.BluetoothLink` and
+:class:`~repro.platforms.battery.Battery` into node-level quantities:
+
+- encoder CPU duty cycle (the "< 5 %" claim),
+- average node power streaming raw vs CS-compressed ECG,
+- battery lifetime and the lifetime *extension* of compression
+  (the "12.9 %" claim).
+
+``base_power_mw`` covers everything that does not scale with the radio
+bit rate or the encoder duty cycle: the analog front end, ADC sampling,
+LED/housekeeping, MCU sleep floor and the Bluetooth connection
+maintenance.  It is the model's one calibrated constant, pinned so that
+the paper's operating point (CR = 50 %) yields the published 12.9 %
+lifetime extension; the extension at every *other* CR is then derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..errors import PlatformModelError
+from .battery import Battery, lifetime_extension_percent
+from .bluetooth import BluetoothLink
+from .msp430 import Msp430Model
+
+
+@dataclass(frozen=True)
+class NodePowerBreakdown:
+    """Average node power decomposed by source (all in mW)."""
+
+    base_mw: float
+    radio_mw: float
+    cpu_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        """Total average power."""
+        return self.base_mw + self.radio_mw + self.cpu_mw
+
+
+@dataclass(frozen=True)
+class ShimmerNode:
+    """Energy/timing model of the complete sensor node."""
+
+    mcu: Msp430Model = field(default_factory=Msp430Model)
+    radio: BluetoothLink = field(default_factory=BluetoothLink)
+    battery: Battery = field(default_factory=Battery)
+    #: calibrated: fixed node power (front end, ADC, BT maintenance),
+    #: pinned so CR = 50 % yields the paper's 12.9 % lifetime extension
+    base_power_mw: float = 9.6427
+
+    def __post_init__(self) -> None:
+        if self.base_power_mw < 0:
+            raise PlatformModelError(
+                f"base_power_mw must be >= 0, got {self.base_power_mw}"
+            )
+
+    # ------------------------------------------------------------------
+    def raw_stream_bits_per_second(self, config: SystemConfig) -> float:
+        """Uncompressed streaming rate: fs x bits-per-sample."""
+        return config.sample_rate_hz * config.original_sample_bits
+
+    def streaming_power(self, config: SystemConfig) -> NodePowerBreakdown:
+        """Average power when streaming uncompressed ECG (no encoder)."""
+        rate = self.raw_stream_bits_per_second(config)
+        radio = self.radio.average_power_mw(rate) - self.radio.idle_power_mw
+        return NodePowerBreakdown(
+            base_mw=self.base_power_mw + self.radio.idle_power_mw,
+            radio_mw=radio,
+            cpu_mw=0.0,
+        )
+
+    def compressed_power(
+        self,
+        config: SystemConfig,
+        bits_per_packet: float,
+        mean_bits_per_symbol: float = 6.0,
+    ) -> NodePowerBreakdown:
+        """Average power with the CS encoder at a measured packet size."""
+        if bits_per_packet < 0:
+            raise PlatformModelError(
+                f"bits_per_packet must be >= 0, got {bits_per_packet}"
+            )
+        rate = bits_per_packet / config.packet_seconds
+        radio = self.radio.average_power_mw(rate) - self.radio.idle_power_mw
+        duty = self.mcu.cpu_usage_fraction(config, mean_bits_per_symbol)
+        cpu = duty * self.mcu.active_power_mw
+        return NodePowerBreakdown(
+            base_mw=self.base_power_mw + self.radio.idle_power_mw,
+            radio_mw=radio,
+            cpu_mw=cpu,
+        )
+
+    # ------------------------------------------------------------------
+    def cpu_usage_percent(self, config: SystemConfig) -> float:
+        """Encoder CPU load in percent (the < 5 % claim)."""
+        return 100.0 * self.mcu.cpu_usage_fraction(config)
+
+    def lifetime_extension_percent(
+        self, config: SystemConfig, bits_per_packet: float
+    ) -> float:
+        """Lifetime gain of CS streaming vs raw streaming (the 12.9 % claim)."""
+        raw = self.streaming_power(config).total_mw
+        compressed = self.compressed_power(config, bits_per_packet).total_mw
+        return lifetime_extension_percent(raw, compressed)
+
+    def lifetime_hours(self, power: NodePowerBreakdown) -> float:
+        """Battery lifetime at a given average power."""
+        return self.battery.lifetime_hours(power.total_mw)

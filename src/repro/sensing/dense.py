@@ -1,0 +1,50 @@
+"""Dense reference sensing matrices (the paper's Matlab-side baseline).
+
+:class:`GaussianMatrix` draws i.i.d. ``N(0, 1/N)`` entries and
+:class:`BernoulliMatrix` draws symmetric ``+-1/sqrt(N)`` entries — the
+two "universal" RIP constructions cited in Section II-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import rng_from
+from .base import SensingMatrix
+
+
+class GaussianMatrix(SensingMatrix):
+    """i.i.d. Gaussian ``Phi`` with entries ``N(0, 1/n)``."""
+
+    def __init__(self, m: int, n: int, seed: int = 2011) -> None:
+        super().__init__(m, n)
+        self.seed = int(seed)
+        rng = rng_from(self.seed, "gaussian", m, n)
+        self._matrix = rng.standard_normal((m, n)) / np.sqrt(n)
+        self._matrix.setflags(write=False)
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def storage_bits(self) -> int:
+        """Stored as 32-bit floats on the node (paper approach 2)."""
+        return 32 * self.m * self.n
+
+
+class BernoulliMatrix(SensingMatrix):
+    """Symmetric Bernoulli ``Phi``: entries ``+-1/sqrt(n)`` w.p. 1/2."""
+
+    def __init__(self, m: int, n: int, seed: int = 2011) -> None:
+        super().__init__(m, n)
+        self.seed = int(seed)
+        rng = rng_from(self.seed, "bernoulli", m, n)
+        signs = rng.integers(0, 2, size=(m, n)) * 2 - 1
+        self._matrix = signs / np.sqrt(n)
+        self._matrix.setflags(write=False)
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def storage_bits(self) -> int:
+        """One sign bit per entry."""
+        return self.m * self.n

@@ -1,0 +1,49 @@
+"""CS reconstruction solvers.
+
+The paper cites four families of recovery algorithms (interior-point,
+gradient projection, iterative thresholding, greedy pursuit) and adopts
+FISTA.  All of them are implemented here as baselines around a common
+interface, so the solver-comparison benchmark can reproduce the paper's
+motivation quantitatively:
+
+- :func:`~repro.solvers.fista.fista` — the paper's solver (Beck &
+  Teboulle 2009), O(1/k^2);
+- :func:`~repro.solvers.ista.ista` — plain iterative shrinkage, O(1/k);
+- :func:`~repro.solvers.twist.twist` — two-step IST (Bioucas-Dias &
+  Figueiredo 2007);
+- :func:`~repro.solvers.omp.omp` — orthogonal matching pursuit (Tropp
+  2004);
+- :func:`~repro.solvers.gpsr.gpsr` — gradient projection for sparse
+  reconstruction (Figueiredo et al. 2007);
+- :func:`~repro.solvers.bp.basis_pursuit` — the LP/interior-point
+  formulation (Chen et al. 1999).
+"""
+
+from .base import SolverResult, as_operator
+from .prox import soft_threshold, soft_threshold_branchy, soft_threshold_if_converted
+from .lipschitz import power_iteration_norm, lipschitz_constant
+from .ista import ista
+from .fista import fista, lambda_from_fraction
+from .twist import twist
+from .omp import omp
+from .gpsr import gpsr
+from .bp import basis_pursuit
+from .debias import debias
+
+__all__ = [
+    "debias",
+    "SolverResult",
+    "as_operator",
+    "soft_threshold",
+    "soft_threshold_branchy",
+    "soft_threshold_if_converted",
+    "power_iteration_norm",
+    "lipschitz_constant",
+    "ista",
+    "fista",
+    "lambda_from_fraction",
+    "twist",
+    "omp",
+    "gpsr",
+    "basis_pursuit",
+]

@@ -1,0 +1,72 @@
+"""Shared solver plumbing: operator adaptation, results, stopping rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SolverError
+from ..wavelet.operator import DenseOperator, LinearOperator
+
+
+def as_operator(a: LinearOperator | np.ndarray) -> LinearOperator:
+    """Accept a dense matrix or a :class:`LinearOperator` uniformly."""
+    if isinstance(a, LinearOperator):
+        return a
+    array = np.asarray(a)
+    if array.ndim != 2:
+        raise SolverError(f"system operator must be 2-D, got shape {array.shape}")
+    return DenseOperator(array)
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a reconstruction solve.
+
+    Attributes
+    ----------
+    coefficients:
+        The recovered sparse coefficient vector ``alpha``.
+    iterations:
+        Iterations actually executed.
+    converged:
+        Whether the stopping tolerance was met within the budget.
+    stop_reason:
+        ``"tolerance"``, ``"max_iterations"`` or solver-specific reasons
+        (e.g. ``"residual"`` for greedy methods).
+    objective_history:
+        Objective value per iteration, when the solver tracks it.
+    residual_norm:
+        Final ``||A alpha - y||_2``.
+    """
+
+    coefficients: np.ndarray
+    iterations: int
+    converged: bool
+    stop_reason: str
+    residual_norm: float
+    objective_history: list[float] = field(default_factory=list)
+
+    @property
+    def objective(self) -> float:
+        """Final objective value (``nan`` if no history was tracked)."""
+        return self.objective_history[-1] if self.objective_history else float("nan")
+
+
+def check_measurements(a: LinearOperator, y: np.ndarray) -> np.ndarray:
+    """Validate the measurement vector against the operator shape."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise SolverError(f"y must be 1-D, got shape {y.shape}")
+    if y.shape[0] != a.shape[0]:
+        raise SolverError(
+            f"y length {y.shape[0]} does not match operator rows {a.shape[0]}"
+        )
+    return y
+
+
+def relative_change(new: np.ndarray, old: np.ndarray) -> float:
+    """``||new - old|| / max(||old||, 1)`` — the standard stopping metric."""
+    denominator = max(float(np.linalg.norm(old)), 1.0)
+    return float(np.linalg.norm(new - old)) / denominator

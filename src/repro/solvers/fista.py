@@ -1,0 +1,153 @@
+"""FISTA — fast iterative shrinkage-thresholding (Beck & Teboulle 2009).
+
+This is the paper's reconstruction algorithm (Section II-B), with the
+exact constant-step schedule reproduced from the paper's listing:
+
+    Input: L, a Lipschitz constant of grad f
+    Step 0:  y_1 = alpha_0,  t_1 = 1
+    Step k:  alpha_k  = prox_{1/L}(g)( y_k - (1/L) grad f(y_k) )
+             t_{k+1}  = (1 + sqrt(1 + 4 t_k^2)) / 2
+             y_{k+1}  = alpha_k + ((t_k - 1)/t_{k+1}) (alpha_k - alpha_{k-1})
+
+with ``f(alpha) = ||A alpha - y||_2^2`` and ``g = lambda ||.||_1``, whose
+prox is plain soft thresholding.  Convergence of the objective is
+O(1/k^2) versus O(1/k) for ISTA.
+
+The implementation preserves the working dtype: feeding float32 data
+reproduces the iPhone's 32-bit arithmetic; float64 reproduces the Matlab
+reference (Figure 6 compares the two).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SolverError
+from ..wavelet.operator import LinearOperator
+from .base import SolverResult, as_operator, check_measurements, relative_change
+from .lipschitz import lipschitz_constant
+from .prox import soft_threshold
+
+
+def lambda_from_fraction(
+    a: LinearOperator | np.ndarray, y: np.ndarray, fraction: float
+) -> float:
+    """Regularization weight as a fraction of ``||A^T y||_inf``.
+
+    ``lambda >= 2 ||A^T y||_inf`` makes the zero vector optimal (for the
+    ``||A alpha - y||^2`` fidelity), so meaningful fractions live well
+    below 1; the system default is 0.05.
+    """
+    if fraction <= 0:
+        raise SolverError(f"fraction must be positive, got {fraction}")
+    operator = as_operator(a)
+    correlation = float(np.max(np.abs(operator.rmatvec(np.asarray(y)))))
+    if correlation == 0:
+        return fraction  # all-zero measurements: any positive lambda works
+    return fraction * correlation
+
+
+def fista(
+    a: LinearOperator | np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-4,
+    lipschitz: float | None = None,
+    x0: np.ndarray | None = None,
+    track_objective: bool = False,
+) -> SolverResult:
+    """Solve ``min_alpha ||A alpha - y||_2^2 + lam ||alpha||_1`` by FISTA.
+
+    Parameters
+    ----------
+    a:
+        System operator (dense array or matrix-free operator).
+    y:
+        Measurement vector.
+    lam:
+        l1 weight ``lambda`` (absolute; see :func:`lambda_from_fraction`).
+    max_iterations:
+        Iteration cap — the decoder's real-time budget (2000 for the
+        optimized iPhone build, 800 without NEON optimizations).
+    tolerance:
+        Stop when the relative iterate change falls below this value.
+    lipschitz:
+        ``L``; estimated by power iteration when omitted.
+    x0:
+        Warm start (the previous packet's solution in streaming use).
+    track_objective:
+        Record the objective value per iteration (costs one extra
+        matvec per iteration; off in production).
+    """
+    operator = as_operator(a)
+    y = check_measurements(operator, y)
+    if lam <= 0:
+        raise SolverError(f"lam must be positive, got {lam}")
+    if max_iterations < 1:
+        raise SolverError(f"max_iterations must be >= 1, got {max_iterations}")
+    if tolerance <= 0:
+        raise SolverError(f"tolerance must be positive, got {tolerance}")
+
+    dtype = np.float32 if np.asarray(y).dtype == np.float32 else np.float64
+    y = np.asarray(y, dtype=dtype)
+    n = operator.shape[1]
+
+    if lipschitz is None:
+        lipschitz = lipschitz_constant(operator)
+    if lipschitz <= 0:
+        raise SolverError(f"lipschitz must be positive, got {lipschitz}")
+    step = dtype(1.0 / lipschitz)
+    threshold = dtype(lam / lipschitz)
+
+    if x0 is None:
+        alpha_prev = np.zeros(n, dtype=dtype)
+    else:
+        alpha_prev = np.asarray(x0, dtype=dtype).copy()
+        if alpha_prev.shape != (n,):
+            raise SolverError(
+                f"x0 shape {alpha_prev.shape} does not match operator columns {n}"
+            )
+    momentum = alpha_prev.copy()
+    t_k = 1.0
+
+    history: list[float] = []
+    iterations = 0
+    converged = False
+    stop_reason = "max_iterations"
+    alpha = alpha_prev
+
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        residual = operator.matvec(momentum) - y
+        gradient = 2.0 * operator.rmatvec(residual)
+        alpha = soft_threshold(momentum - step * gradient.astype(dtype), threshold)
+
+        t_next = (1.0 + math.sqrt(1.0 + 4.0 * t_k * t_k)) / 2.0
+        momentum = alpha + dtype((t_k - 1.0) / t_next) * (alpha - alpha_prev)
+        t_k = t_next
+
+        if track_objective:
+            fit = operator.matvec(alpha) - y
+            history.append(
+                float(np.dot(fit, fit) + lam * np.sum(np.abs(alpha)))
+            )
+
+        if relative_change(alpha, alpha_prev) < tolerance:
+            converged = True
+            stop_reason = "tolerance"
+            alpha_prev = alpha
+            break
+        alpha_prev = alpha
+
+    final_residual = float(np.linalg.norm(operator.matvec(alpha) - y))
+    return SolverResult(
+        coefficients=alpha,
+        iterations=iterations,
+        converged=converged,
+        stop_reason=stop_reason,
+        residual_norm=final_residual,
+        objective_history=history,
+    )

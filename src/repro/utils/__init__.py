@@ -1,0 +1,20 @@
+"""Small shared helpers: argument validation and deterministic seeding."""
+
+from .validation import (
+    check_1d,
+    check_integer_array,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+from .seeding import derive_seed, rng_from
+
+__all__ = [
+    "check_1d",
+    "check_integer_array",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "derive_seed",
+    "rng_from",
+]

@@ -1,0 +1,33 @@
+"""Orthonormal wavelet substrate.
+
+The paper's sparsifying basis ``Psi`` is an orthonormal wavelet basis.
+This package provides:
+
+- :mod:`repro.wavelet.filters` — orthonormal scaling/wavelet filter
+  construction (Haar, Daubechies extremal-phase, symlets) by spectral
+  factorization of the Daubechies half-band polynomial;
+- :mod:`repro.wavelet.dwt` — multi-level periodized discrete wavelet
+  transform and its exact inverse, vectorized, matrix-free;
+- :mod:`repro.wavelet.operator` — linear-operator wrappers (``Psi``,
+  ``Psi^T`` and the composed CS system operator ``A = Phi Psi``).
+"""
+
+from .filters import WaveletFilter, get_wavelet, available_wavelets
+from .dwt import WaveletTransform
+from .operator import (
+    LinearOperator,
+    DenseOperator,
+    WaveletSynthesisOperator,
+    ComposedOperator,
+)
+
+__all__ = [
+    "WaveletFilter",
+    "get_wavelet",
+    "available_wavelets",
+    "WaveletTransform",
+    "LinearOperator",
+    "DenseOperator",
+    "WaveletSynthesisOperator",
+    "ComposedOperator",
+]

@@ -1,0 +1,164 @@
+"""Tests for Huffman length computation and canonical codes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import BitReader, BitWriter, HuffmanCode, huffman_code_lengths
+from repro.coding.huffman import canonical_codewords, kraft_sum
+from repro.errors import CodebookError, DecodingError
+
+
+class TestHuffmanLengths:
+    def test_two_equal_symbols_get_one_bit(self):
+        assert huffman_code_lengths([1, 1]) == [1, 1]
+
+    def test_single_symbol_gets_one_bit(self):
+        assert huffman_code_lengths([0, 5, 0]) == [0, 1, 0]
+
+    def test_classic_example(self):
+        # frequencies 1,1,2,4 -> depths 3,3,2,1
+        assert huffman_code_lengths([1, 1, 2, 4]) == [3, 3, 2, 1]
+
+    def test_zero_frequency_symbols_absent(self):
+        lengths = huffman_code_lengths([5, 0, 5])
+        assert lengths[1] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodebookError):
+            huffman_code_lengths([])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(CodebookError):
+            huffman_code_lengths([0, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodebookError):
+            huffman_code_lengths([1, -1])
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=64).filter(
+        lambda f: sum(1 for x in f if x > 0) >= 2
+    ))
+    def test_kraft_equality_for_optimal_codes(self, frequencies):
+        lengths = huffman_code_lengths(frequencies)
+        assert kraft_sum(lengths) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(1, 1000), min_size=2, max_size=32))
+    def test_optimality_vs_entropy_bound(self, frequencies):
+        """Mean length within [entropy, entropy + 1)."""
+        import math
+
+        lengths = huffman_code_lengths(frequencies)
+        total = sum(frequencies)
+        mean = sum(f * l for f, l in zip(frequencies, lengths)) / total
+        entropy = -sum(
+            f / total * math.log2(f / total) for f in frequencies if f
+        )
+        assert entropy - 1e-9 <= mean < entropy + 1.0
+
+    @given(st.lists(st.integers(1, 100), min_size=2, max_size=24))
+    def test_higher_frequency_never_longer_code(self, frequencies):
+        lengths = huffman_code_lengths(frequencies)
+        pairs = sorted(zip(frequencies, lengths))
+        for (f1, l1), (f2, l2) in zip(pairs, pairs[1:]):
+            if f1 < f2:
+                assert l1 >= l2
+
+
+class TestCanonicalCodewords:
+    def test_known_assignment(self):
+        # lengths [1, 2, 2] -> codes 0, 10, 11
+        codes = canonical_codewords([1, 2, 2])
+        assert codes == [0b0, 0b10, 0b11]
+
+    def test_absent_symbols_have_none(self):
+        codes = canonical_codewords([1, 0, 1])
+        assert codes[1] is None
+
+    def test_kraft_violation_rejected(self):
+        with pytest.raises(CodebookError):
+            canonical_codewords([1, 1, 1])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CodebookError):
+            canonical_codewords([0, 0])
+
+
+class TestHuffmanCode:
+    def _make(self, frequencies):
+        return HuffmanCode(huffman_code_lengths(frequencies))
+
+    def test_encode_decode_single_symbol(self):
+        code = self._make([3, 1, 1])
+        writer = code.encode([0, 1, 2, 0])
+        reader = BitReader(writer.getvalue(), bit_length=len(writer))
+        assert code.decode(reader, 4) == [0, 1, 2, 0]
+
+    def test_prefix_property(self):
+        code = self._make([5, 3, 2, 1, 1])
+        words = []
+        for symbol in range(5):
+            bits, length = code.codeword(symbol)
+            words.append(format(bits, f"0{length}b"))
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_decode_invalid_codeword_raises(self):
+        # canonical codes for lengths [2,2,2] are 00, 01, 10 -> "11" invalid
+        code = HuffmanCode([2, 2, 2])
+        reader = BitReader(b"\xff\xff")
+        with pytest.raises(DecodingError):
+            code.decode_symbol(reader)
+
+    def test_codeword_for_absent_symbol_raises(self):
+        code = self._make([1, 1, 0])
+        with pytest.raises(CodebookError):
+            code.codeword(2)
+
+    def test_codeword_out_of_alphabet_raises(self):
+        code = self._make([1, 1])
+        with pytest.raises(CodebookError):
+            code.codeword(5)
+
+    def test_encode_symbol_without_codeword_raises(self):
+        code = self._make([1, 0, 1])
+        with pytest.raises(CodebookError):
+            code.encode_symbol(1, BitWriter())
+
+    def test_expected_bits(self):
+        code = self._make([1, 1, 2])
+        # lengths: 2,2,1 -> bits = 1*2 + 1*2 + 2*1 = 6
+        assert code.expected_bits([1, 1, 2]) == pytest.approx(6.0)
+
+    def test_expected_bits_mismatched_table(self):
+        code = self._make([1, 1])
+        with pytest.raises(CodebookError):
+            code.expected_bits([1, 1, 1])
+
+    def test_expected_bits_uncovered_symbol(self):
+        code = self._make([1, 0, 1])
+        with pytest.raises(CodebookError):
+            code.expected_bits([1, 5, 1])
+
+    def test_negative_decode_count_rejected(self):
+        code = self._make([1, 1])
+        with pytest.raises(DecodingError):
+            code.decode(BitReader(b"\x00"), -1)
+
+    @settings(deadline=None)
+    @given(
+        st.lists(st.integers(1, 50), min_size=2, max_size=40),
+        st.data(),
+    )
+    def test_roundtrip_random_messages(self, frequencies, data):
+        code = self._make(frequencies)
+        message = data.draw(
+            st.lists(st.integers(0, len(frequencies) - 1), max_size=100)
+        )
+        writer = code.encode(message)
+        reader = BitReader(writer.getvalue(), bit_length=len(writer))
+        assert code.decode(reader, len(message)) == message

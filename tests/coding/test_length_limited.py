@@ -1,0 +1,92 @@
+"""Tests for package-merge length-limited codes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import huffman_code_lengths, package_merge_lengths
+from repro.coding.huffman import kraft_sum
+from repro.errors import CodebookError
+
+
+class TestPackageMerge:
+    def test_matches_huffman_when_unconstrained(self):
+        frequencies = [1, 1, 2, 4, 8, 16]
+        unlimited = huffman_code_lengths(frequencies)
+        limited = package_merge_lengths(frequencies, max_length=32)
+        # same total cost (lengths may permute within equal frequencies)
+        cost_u = sum(f * l for f, l in zip(frequencies, unlimited))
+        cost_l = sum(f * l for f, l in zip(frequencies, limited))
+        assert cost_u == cost_l
+
+    def test_respects_length_cap(self):
+        # exponential frequencies force deep Huffman trees
+        frequencies = [2**i for i in range(12)]
+        lengths = package_merge_lengths(frequencies, max_length=6)
+        assert max(lengths) <= 6
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+
+    def test_single_symbol(self):
+        assert package_merge_lengths([0, 7], 4) == [0, 1]
+
+    def test_too_many_symbols_for_cap(self):
+        with pytest.raises(CodebookError):
+            package_merge_lengths([1] * 5, max_length=2)
+
+    def test_exactly_full_tree(self):
+        lengths = package_merge_lengths([1, 1, 1, 1], max_length=2)
+        assert lengths == [2, 2, 2, 2]
+
+    def test_invalid_cap(self):
+        with pytest.raises(CodebookError):
+            package_merge_lengths([1, 1], max_length=0)
+
+    def test_negative_frequency(self):
+        with pytest.raises(CodebookError):
+            package_merge_lengths([1, -2], max_length=4)
+
+    def test_no_active_symbols(self):
+        with pytest.raises(CodebookError):
+            package_merge_lengths([0, 0], max_length=4)
+
+    def test_paper_alphabet_512_symbols_16_bits(self):
+        """The paper's codebook: 512 symbols within 16-bit codewords."""
+        import numpy as np
+
+        values = np.arange(-256, 256)
+        frequencies = np.maximum(
+            1, (1e6 * np.exp(-np.abs(values) / 10.0)).astype(int)
+        )
+        lengths = package_merge_lengths([int(f) for f in frequencies], 16)
+        assert len(lengths) == 512
+        assert max(lengths) <= 16
+        assert min(l for l in lengths if l > 0) >= 1
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=2, max_size=64).filter(
+            lambda f: sum(1 for x in f if x > 0) >= 2
+        ),
+        st.integers(7, 16),
+    )
+    def test_kraft_inequality_always_holds(self, frequencies, cap):
+        lengths = package_merge_lengths(frequencies, cap)
+        assert max(lengths) <= cap
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+        for freq, length in zip(frequencies, lengths):
+            assert (length > 0) == (freq > 0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.integers(1, 1000), min_size=2, max_size=32),
+    )
+    def test_cost_never_better_than_huffman(self, frequencies):
+        """A constrained code can't beat the unconstrained optimum."""
+        unlimited = huffman_code_lengths(frequencies)
+        limited = package_merge_lengths(frequencies, max_length=8)
+        cost_u = sum(f * l for f, l in zip(frequencies, unlimited))
+        cost_l = sum(f * l for f, l in zip(frequencies, limited))
+        assert cost_l >= cost_u

@@ -1,0 +1,119 @@
+"""Tests for the Rice/Golomb coder (codebook-free alternative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    BitReader,
+    BitWriter,
+    RiceCoder,
+    optimal_rice_parameter,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.coding.rice import rice_decode_value, rice_encode_value
+from repro.errors import BitstreamError, DecodingError
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(DecodingError):
+            zigzag_decode(-1)
+
+
+class TestParameterEstimator:
+    def test_zero_for_all_zero(self):
+        assert optimal_rice_parameter([0, 0, 0]) == 0
+
+    def test_grows_with_magnitude(self):
+        small = optimal_rice_parameter([1, -1, 2, -2])
+        large = optimal_rice_parameter([100, -100, 200, -200])
+        assert large > small
+
+    def test_clamped(self):
+        assert optimal_rice_parameter([2**40]) <= 24
+
+    def test_empty_rejected(self):
+        with pytest.raises(BitstreamError):
+            optimal_rice_parameter([])
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("k", [0, 1, 4, 8])
+    def test_roundtrip_single(self, k):
+        for value in (-17, -1, 0, 1, 42):
+            writer = BitWriter()
+            rice_encode_value(value, k, writer)
+            reader = BitReader(writer.getvalue(), bit_length=len(writer))
+            assert rice_decode_value(k, reader) == value
+
+    def test_invalid_k(self):
+        with pytest.raises(BitstreamError):
+            rice_encode_value(1, 25, BitWriter())
+        with pytest.raises(DecodingError):
+            rice_decode_value(-1, BitReader(b"\x00"))
+
+    def test_quotient_guard(self):
+        with pytest.raises(BitstreamError):
+            rice_encode_value(2**20, 0, BitWriter())
+
+    def test_corrupt_unary_run_detected(self):
+        reader = BitReader(b"\xff" * 600)
+        with pytest.raises(DecodingError):
+            rice_decode_value(0, reader)
+
+
+class TestRiceCoder:
+    def test_packet_roundtrip(self):
+        coder = RiceCoder()
+        values = [0, -3, 7, -120, 255, -256, 1]
+        writer = coder.encode(values)
+        reader = BitReader(writer.getvalue(), bit_length=len(writer))
+        assert coder.decode(reader, len(values)) == values
+
+    def test_encoded_bits_matches_stream(self):
+        coder = RiceCoder()
+        values = list(range(-50, 51, 3))
+        writer = coder.encode(values)
+        assert coder.encoded_bits(values) == len(writer)
+
+    def test_negative_count_rejected(self):
+        coder = RiceCoder()
+        with pytest.raises(DecodingError):
+            coder.decode(BitReader(b"\x00"), -1)
+
+    def test_competitive_with_huffman_on_laplacian(self):
+        """Rice trades a little CR for zero codebook storage."""
+        from repro.coding import train_codebook
+
+        rng = np.random.default_rng(0)
+        values = np.clip(
+            np.round(rng.laplace(scale=12.0, size=4096)), -256, 255
+        ).astype(int)
+        codebook = train_codebook(list(values))
+        writer = BitWriter()
+        for value in values:
+            codebook.code.encode_symbol(codebook.symbol_for(int(value)), writer)
+        huffman_bits = len(writer)
+        rice_bits = RiceCoder().encoded_bits(list(values))
+        # within 15 % of the trained Huffman code on its own source
+        assert rice_bits < huffman_bits * 1.15
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    def test_roundtrip_property(self, values):
+        coder = RiceCoder()
+        writer = coder.encode(values)
+        reader = BitReader(writer.getvalue(), bit_length=len(writer))
+        assert coder.decode(reader, len(values)) == values

@@ -1,0 +1,76 @@
+"""Tests for the multi-lead monitor extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MultiChannelMonitor
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def monitor(small_config):
+    return MultiChannelMonitor(small_config, channels=2)
+
+
+class TestMultiChannel:
+    def test_channel_count(self, monitor):
+        assert monitor.num_channels == 2
+
+    def test_invalid_channel_count(self, small_config):
+        with pytest.raises(ConfigurationError):
+            MultiChannelMonitor(small_config, channels=0)
+
+    def test_per_lead_seeds_differ(self, monitor):
+        matrices = [
+            system.encoder.matrix.rows_per_column
+            for system in monitor.systems
+        ]
+        assert not (matrices[0] == matrices[1]).all()
+
+    def test_stream_both_leads(self, monitor, database):
+        result = monitor.stream(database.load("100"), max_packets=3)
+        assert result.num_channels == 2
+        assert all(r.num_packets == 3 for r in result.per_channel)
+
+    def test_aggregate_metrics(self, monitor, database):
+        result = monitor.stream(database.load("100"), max_packets=3)
+        assert 0.0 < result.compression_ratio_percent < 100.0
+        assert result.worst_channel_prd_percent >= max(
+            r.mean_prd_percent for r in result.per_channel
+        ) - 1e-9
+        assert result.total_bits == sum(
+            sum(p.packet_bits for p in r.packets) for r in result.per_channel
+        )
+        assert result.mean_iterations > 0
+        assert result.bits_per_second() > 0.0
+
+    def test_calibrate_trains_each_lead(self, small_config, database):
+        monitor = MultiChannelMonitor(small_config, channels=2)
+        record = database.load("106")
+        monitor.calibrate(record)
+        books = [system.encoder.codebook for system in monitor.systems]
+        # per-lead training yields per-lead codebooks
+        assert books[0] is not books[1]
+
+    def test_record_with_too_few_channels_rejected(self, small_config):
+        import numpy as np
+
+        from repro.ecg.records import Record
+
+        single = Record(
+            name="mono",
+            fs_hz=256.0,
+            signals_mv=np.zeros((1, 2048)),
+        )
+        monitor = MultiChannelMonitor(small_config, channels=2)
+        with pytest.raises(ConfigurationError):
+            monitor.stream(single)
+
+    def test_radio_rate_doubles_with_leads(self, small_config, database):
+        record = database.load("100")
+        mono = MultiChannelMonitor(small_config, channels=1)
+        stereo = MultiChannelMonitor(small_config, channels=2)
+        r1 = mono.stream(record, max_packets=3)
+        r2 = stereo.stream(record, max_packets=3)
+        assert r2.total_bits > 1.5 * r1.total_bits

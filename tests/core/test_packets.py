@@ -1,0 +1,125 @@
+"""Tests for the on-air packet format and CRC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EncodedPacket, PacketKind, crc16_ccitt
+from repro.core.packets import (
+    HEADER_BYTES,
+    pack_keyframe_values,
+    unpack_keyframe_values,
+)
+from repro.errors import PacketFormatError
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_detects_single_bit_flip(self):
+        data = bytes(range(32))
+        base = crc16_ccitt(data)
+        corrupted = bytearray(data)
+        corrupted[5] ^= 0x10
+        assert crc16_ccitt(bytes(corrupted)) != base
+
+
+class TestPacketRoundtrip:
+    def _packet(self, kind=PacketKind.DIFFERENCE, payload=b"\xde\xad", bits=16):
+        return EncodedPacket(
+            kind=kind, sequence=7, m=256, payload=payload, payload_bits=bits
+        )
+
+    def test_roundtrip(self):
+        packet = self._packet()
+        parsed = EncodedPacket.from_bytes(packet.to_bytes())
+        assert parsed == packet
+
+    def test_total_bits_accounting(self):
+        packet = self._packet(payload=b"abc", bits=20)
+        assert packet.total_bits == 8 * (HEADER_BYTES + 3 + 2)
+
+    def test_sync_byte_checked(self):
+        wire = bytearray(self._packet().to_bytes())
+        wire[0] = 0x00
+        with pytest.raises(PacketFormatError):
+            EncodedPacket.from_bytes(bytes(wire))
+
+    def test_crc_corruption_detected(self):
+        wire = bytearray(self._packet().to_bytes())
+        wire[-3] ^= 0x01  # flip payload bit
+        with pytest.raises(PacketFormatError):
+            EncodedPacket.from_bytes(bytes(wire))
+
+    def test_truncation_detected(self):
+        wire = self._packet().to_bytes()
+        with pytest.raises(PacketFormatError):
+            EncodedPacket.from_bytes(wire[:-1])
+
+    def test_unknown_kind_detected(self):
+        wire = bytearray(self._packet().to_bytes())
+        wire[1] = 99
+        with pytest.raises(PacketFormatError):
+            EncodedPacket.from_bytes(bytes(wire))
+
+    def test_too_short_buffer(self):
+        with pytest.raises(PacketFormatError):
+            EncodedPacket.from_bytes(b"\xa5\x01")
+
+    def test_invalid_fields_rejected_at_construction(self):
+        with pytest.raises(PacketFormatError):
+            EncodedPacket(PacketKind.KEYFRAME, -1, 256, b"", 0)
+        with pytest.raises(PacketFormatError):
+            EncodedPacket(PacketKind.KEYFRAME, 0, 0, b"", 0)
+        with pytest.raises(PacketFormatError):
+            EncodedPacket(PacketKind.KEYFRAME, 0, 256, b"", 9)
+
+    @settings(max_examples=30)
+    @given(
+        st.sampled_from(list(PacketKind)),
+        st.integers(0, 65535),
+        st.integers(1, 1024),
+        st.binary(min_size=0, max_size=200),
+    )
+    def test_roundtrip_property(self, kind, sequence, m, payload):
+        packet = EncodedPacket(
+            kind=kind,
+            sequence=sequence,
+            m=m,
+            payload=payload,
+            payload_bits=8 * len(payload),
+        )
+        assert EncodedPacket.from_bytes(packet.to_bytes()) == packet
+
+
+class TestKeyframePayload:
+    def test_roundtrip(self):
+        values = np.array([-32768, -1, 0, 1, 32767], dtype=np.int64)
+        payload, bits = pack_keyframe_values(values)
+        assert bits == 16 * 5
+        assert np.array_equal(unpack_keyframe_values(payload, 5), values)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(PacketFormatError):
+            pack_keyframe_values(np.array([32768]))
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(PacketFormatError):
+            unpack_keyframe_values(b"\x00\x01", 2)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(-32768, 32767), max_size=64))
+    def test_roundtrip_property(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        payload, _ = pack_keyframe_values(array)
+        assert np.array_equal(
+            unpack_keyframe_values(payload, len(values)), array
+        )

@@ -1,0 +1,110 @@
+"""Tests for the ambulatory noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import NoiseModel, NoiseRecipe
+
+
+class TestRecipe:
+    def test_defaults_valid(self):
+        recipe = NoiseRecipe()
+        assert recipe.baseline_wander_mv > 0
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseRecipe(baseline_wander_mv=-0.1)
+        with pytest.raises(ValueError):
+            NoiseRecipe(muscle_mv=-0.1)
+
+    def test_invalid_powerline_frequency(self):
+        with pytest.raises(ValueError):
+            NoiseRecipe(powerline_hz=0.0)
+
+
+class TestComponents:
+    def test_baseline_wander_is_slow(self):
+        model = NoiseModel(NoiseRecipe(baseline_wander_mv=0.1), seed=1)
+        wander = model.baseline_wander(3600, 360.0)
+        spectrum = np.abs(np.fft.rfft(wander)) ** 2
+        freqs = np.fft.rfftfreq(3600, d=1 / 360.0)
+        low = spectrum[freqs < 0.6].sum()
+        assert low / spectrum.sum() > 0.99
+
+    def test_baseline_wander_amplitude(self):
+        model = NoiseModel(NoiseRecipe(baseline_wander_mv=0.1), seed=2)
+        wander = model.baseline_wander(3600, 360.0)
+        assert np.max(np.abs(wander)) <= 0.1 + 1e-12
+
+    def test_muscle_is_broadband(self):
+        model = NoiseModel(NoiseRecipe(muscle_mv=0.05), seed=3)
+        emg = model.muscle_artifact(3600, 360.0)
+        spectrum = np.abs(np.fft.rfft(emg)) ** 2
+        freqs = np.fft.rfftfreq(3600, d=1 / 360.0)
+        high = spectrum[freqs > 50].sum()
+        assert high / spectrum.sum() > 0.4
+
+    def test_powerline_is_narrowband(self):
+        model = NoiseModel(
+            NoiseRecipe(powerline_mv=0.05, powerline_hz=60.0), seed=4
+        )
+        hum = model.powerline(3600, 360.0)
+        spectrum = np.abs(np.fft.rfft(hum)) ** 2
+        freqs = np.fft.rfftfreq(3600, d=1 / 360.0)
+        at_60 = spectrum[np.abs(freqs - 60.0) < 2.0].sum()
+        at_120 = spectrum[np.abs(freqs - 120.0) < 2.0].sum()
+        assert (at_60 + at_120) / spectrum.sum() > 0.99
+        assert at_60 > at_120
+
+    def test_motion_events_scale_with_rate(self):
+        quiet = NoiseModel(
+            NoiseRecipe(electrode_motion_mv=0.3, motion_events_per_minute=0.1),
+            seed=5,
+        )
+        busy = NoiseModel(
+            NoiseRecipe(electrode_motion_mv=0.3, motion_events_per_minute=20.0),
+            seed=5,
+        )
+        q = quiet.electrode_motion(360 * 60, 360.0)
+        b = busy.electrode_motion(360 * 60, 360.0)
+        assert np.sum(np.abs(b)) > np.sum(np.abs(q))
+
+    def test_zero_amplitude_components_are_zero(self):
+        model = NoiseModel(
+            NoiseRecipe(
+                baseline_wander_mv=0.0,
+                muscle_mv=0.0,
+                powerline_mv=0.0,
+                electrode_motion_mv=0.0,
+            ),
+            seed=6,
+        )
+        assert np.allclose(model.render(1000, 360.0), 0.0)
+
+    def test_render_is_sum_of_components(self):
+        recipe = NoiseRecipe(electrode_motion_mv=0.1)
+        model = NoiseModel(recipe, seed=7)
+        n, fs = 2000, 360.0
+        total = model.render(n, fs)
+        parts = (
+            model.baseline_wander(n, fs)
+            + model.muscle_artifact(n, fs)
+            + model.powerline(n, fs)
+            + model.electrode_motion(n, fs)
+        )
+        assert np.allclose(total, parts)
+
+    def test_deterministic_by_seed(self):
+        recipe = NoiseRecipe()
+        a = NoiseModel(recipe, seed=8).render(500, 360.0)
+        b = NoiseModel(recipe, seed=8).render(500, 360.0)
+        assert np.array_equal(a, b)
+
+    def test_invalid_render_args(self):
+        model = NoiseModel(NoiseRecipe(), seed=9)
+        with pytest.raises(ValueError):
+            model.render(0, 360.0)
+        with pytest.raises(ValueError):
+            model.render(100, 0.0)

@@ -1,0 +1,85 @@
+"""Tests for the 360 -> 256 Hz resampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import SyntheticMitBih, resample_record, resample_signal
+from repro.ecg.resample import rational_ratio
+
+
+class TestRationalRatio:
+    def test_paper_conversion(self):
+        assert rational_ratio(360.0, 256.0) == (32, 45)
+
+    def test_identity(self):
+        assert rational_ratio(360.0, 360.0) == (1, 1)
+
+    def test_upsampling(self):
+        assert rational_ratio(250.0, 500.0) == (2, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rational_ratio(0.0, 256.0)
+
+
+class TestResampleSignal:
+    def test_output_length(self):
+        x = np.zeros(3600)
+        y = resample_signal(x, 360.0, 256.0)
+        assert len(y) == 2560
+
+    def test_identity_rate_copies(self):
+        x = np.arange(100.0)
+        y = resample_signal(x, 256.0, 256.0)
+        assert np.array_equal(x, y)
+        assert y is not x
+
+    def test_preserves_sine_below_nyquist(self):
+        t = np.arange(3600) / 360.0
+        x = np.sin(2 * np.pi * 10.0 * t)
+        y = resample_signal(x, 360.0, 256.0)
+        t2 = np.arange(len(y)) / 256.0
+        expected = np.sin(2 * np.pi * 10.0 * t2)
+        # ignore filter edge effects
+        core = slice(100, -100)
+        assert np.max(np.abs(y[core] - expected[core])) < 0.01
+
+    def test_removes_above_target_nyquist(self):
+        t = np.arange(7200) / 360.0
+        x = np.sin(2 * np.pi * 150.0 * t)  # above 128 Hz target Nyquist
+        y = resample_signal(x, 360.0, 256.0)
+        assert np.sqrt(np.mean(y[200:-200] ** 2)) < 0.05
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            resample_signal(np.zeros((2, 10)), 360.0, 256.0)
+        with pytest.raises(ValueError):
+            resample_signal(np.zeros(1), 360.0, 256.0)
+
+
+class TestResampleRecord:
+    def test_record_fields_updated(self, database):
+        record = database.load("100")
+        resampled = resample_record(record, 256.0)
+        assert resampled.fs_hz == 256.0
+        assert resampled.num_channels == 2
+        assert resampled.num_samples == int(record.duration_s * 256.0)
+        assert resampled.name == record.name
+        assert resampled.rhythm == record.rhythm
+
+    def test_annotations_reindexed(self, database):
+        record = database.load("100")
+        resampled = resample_record(record, 256.0)
+        ratio = 256.0 / 360.0
+        for original, converted in zip(record.annotations, resampled.annotations):
+            assert converted.sample == int(round(original.sample * ratio))
+            assert converted.symbol == original.symbol
+
+    def test_beats_still_detectable_after_resampling(self, database):
+        from repro.ecg.qrs import beat_match_rate, detect_qrs
+
+        record = resample_record(database.load("100"), 256.0)
+        detected = detect_qrs(record.channel(0), 256.0)
+        assert beat_match_rate(record.beat_samples(), detected, 256.0) > 0.9

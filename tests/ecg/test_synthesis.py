@@ -1,0 +1,89 @@
+"""Tests for the ECGSYN dynamical model and its RR process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import EcgSynParameters, ecgsyn, rr_process
+from repro.ecg.qrs import detect_qrs
+
+
+class TestRrProcess:
+    def test_mean_matches_heart_rate(self):
+        params = EcgSynParameters(mean_hr_bpm=60.0, std_hr_bpm=1.0)
+        rr = rr_process(params, duration_s=120.0, seed=1)
+        assert np.mean(rr) == pytest.approx(1.0, abs=0.03)
+
+    def test_variability_scales(self):
+        quiet = EcgSynParameters(mean_hr_bpm=60.0, std_hr_bpm=0.5)
+        wild = EcgSynParameters(mean_hr_bpm=60.0, std_hr_bpm=5.0)
+        rr_quiet = rr_process(quiet, 120.0, seed=2)
+        rr_wild = rr_process(wild, 120.0, seed=2)
+        assert np.std(rr_wild) > 3.0 * np.std(rr_quiet)
+
+    def test_deterministic(self):
+        params = EcgSynParameters()
+        assert np.array_equal(
+            rr_process(params, 30.0, seed=3), rr_process(params, 30.0, seed=3)
+        )
+
+    def test_physiological_bounds(self):
+        params = EcgSynParameters(mean_hr_bpm=60.0, std_hr_bpm=10.0)
+        rr = rr_process(params, 60.0, seed=4)
+        assert rr.min() >= 0.2 and rr.max() <= 3.0
+
+    def test_spectrum_has_hf_peak(self):
+        """The respiratory (0.25 Hz) band must carry visible power."""
+        params = EcgSynParameters(std_hr_bpm=3.0)
+        rr = rr_process(params, 300.0, seed=5, resolution_hz=8.0)
+        spectrum = np.abs(np.fft.rfft(rr - rr.mean())) ** 2
+        freqs = np.fft.rfftfreq(len(rr), d=1.0 / 8.0)
+        hf = spectrum[(freqs > 0.2) & (freqs < 0.3)].sum()
+        background = spectrum[(freqs > 0.5) & (freqs < 1.0)].sum()
+        assert hf > background
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            rr_process(EcgSynParameters(), duration_s=0.0)
+
+
+class TestEcgSyn:
+    def test_output_length(self):
+        signal = ecgsyn(5.0, fs_hz=360.0, seed=1)
+        assert len(signal) == 1800
+
+    def test_r_amplitude_normalized(self):
+        signal = ecgsyn(10.0, seed=2)
+        assert np.max(np.abs(signal)) == pytest.approx(1.1, rel=1e-6)
+
+    def test_beat_rate_matches_heart_rate(self):
+        params = EcgSynParameters(mean_hr_bpm=72.0, std_hr_bpm=0.5)
+        signal = ecgsyn(30.0, parameters=params, fs_hz=360.0, seed=3)
+        peaks = detect_qrs(signal, 360.0)
+        rate = len(peaks) / 30.0 * 60.0
+        assert rate == pytest.approx(72.0, abs=6.0)
+
+    def test_deterministic(self):
+        a = ecgsyn(5.0, seed=7)
+        b = ecgsyn(5.0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_signal(self):
+        assert not np.array_equal(ecgsyn(5.0, seed=7), ecgsyn(5.0, seed=8))
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            ecgsyn(0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EcgSynParameters(mean_hr_bpm=0.0)
+        with pytest.raises(ValueError):
+            EcgSynParameters(std_hr_bpm=-1.0)
+
+    def test_wave_parameter_validation(self):
+        from repro.ecg import WaveParameters
+
+        with pytest.raises(ValueError):
+            WaveParameters(theta=0.0, amplitude=1.0, width=0.0)

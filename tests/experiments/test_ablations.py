@@ -1,0 +1,80 @@
+"""Tests for the wavelet/level/quantizer design-choice ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecg import SyntheticMitBih
+from repro.experiments import (
+    run_level_ablation,
+    run_quantizer_ablation,
+    run_wavelet_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return SyntheticMitBih(duration_s=16.0, seed=2011)
+
+
+class TestWaveletAblation:
+    def test_rows_and_fields(self, tiny_db):
+        rows = run_wavelet_ablation(
+            wavelets=("haar", "db4"),
+            records=("100",),
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        assert [row["wavelet"] for row in rows] == ["haar", "db4"]
+        for row in rows:
+            assert row["snr_db"] > 0.0
+            assert 0.0 < row["sparsity_50_capture"] <= 1.0
+
+    def test_db4_sparsifies_better_than_haar(self, tiny_db):
+        """The reason the default is db4: ECG is smoother than Haar."""
+        rows = run_wavelet_ablation(
+            wavelets=("haar", "db4"),
+            records=("100",),
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        by_name = {row["wavelet"]: row for row in rows}
+        assert (
+            by_name["db4"]["sparsity_50_capture"]
+            > by_name["haar"]["sparsity_50_capture"]
+        )
+        assert by_name["db4"]["snr_db"] > by_name["haar"]["snr_db"] - 0.5
+
+
+class TestLevelAblation:
+    def test_deeper_is_not_worse(self, tiny_db):
+        rows = run_level_ablation(
+            levels=(2, 5),
+            records=("100",),
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        by_depth = {int(row["levels"]): row["snr_db"] for row in rows}
+        # shallow decompositions waste the coarse band's compressibility
+        assert by_depth[5] > by_depth[2] - 0.5
+
+
+class TestQuantizerAblation:
+    def test_shift_tradeoff_shape(self, tiny_db):
+        rows = run_quantizer_ablation(
+            shifts=(0, 4, 6),
+            packets=4,
+            database=tiny_db,
+        )
+        by_shift = {int(row["shift"]): row for row in rows}
+        # no quantization: saturation is rampant (diffs overflow 9 bits)
+        assert by_shift[0]["saturation_percent"] > by_shift[4]["saturation_percent"]
+        # more shift: better CR, worse PRD
+        assert by_shift[6]["measured_cr"] > by_shift[4]["measured_cr"]
+        assert by_shift[6]["prd_percent"] > by_shift[4]["prd_percent"] - 0.5
+
+    def test_default_shift_saturation_negligible(self, tiny_db):
+        rows = run_quantizer_ablation(
+            shifts=(4,), packets=6, database=tiny_db
+        )
+        assert rows[0]["saturation_percent"] < 1.0

@@ -1,0 +1,56 @@
+"""Tests for the entropy-coder and sensing-structure alternatives ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecg import SyntheticMitBih
+from repro.experiments.ablation_alternatives import (
+    run_entropy_coder_ablation,
+    run_sensing_structure_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return SyntheticMitBih(duration_s=20.0, seed=2011)
+
+
+class TestEntropyCoderAblation:
+    def test_rice_close_to_huffman(self, tiny_db):
+        row = run_entropy_coder_ablation(packets=5, database=tiny_db)
+        assert row["packets"] == 5.0
+        # Rice trails the trained Huffman by a modest margin...
+        assert -5.0 < row["rice_overhead_percent"] < 25.0
+        # ...while saving the whole codebook
+        assert row["rice_flash_bytes"] == 0.0
+        assert row["huffman_flash_bytes"] == 1536.0
+
+    def test_bits_positive(self, tiny_db):
+        row = run_entropy_coder_ablation(packets=4, database=tiny_db)
+        assert row["huffman_bits_per_packet"] > 0
+        assert row["rice_bits_per_packet"] > 0
+
+
+class TestSensingStructureAblation:
+    def test_structure_cost_appears_at_high_cr(self, tiny_db):
+        rows = run_sensing_structure_ablation(
+            packets=3, nominal_crs=(50.0, 75.0), database=tiny_db
+        )
+        assert len(rows) == 4
+        by_key = {(r["matrix"], r["nominal_cr"]): r for r in rows}
+        # circulant storage is dramatically smaller at both points
+        for cr in (50.0, 75.0):
+            assert (
+                by_key[("lfsr-circulant", cr)]["storage_bits"]
+                < by_key[("sparse-binary", cr)]["storage_bits"]
+            )
+        # both degrade with CR
+        assert (
+            by_key[("sparse-binary", 75.0)]["prd_percent"]
+            > by_key[("sparse-binary", 50.0)]["prd_percent"]
+        )
+        assert (
+            by_key[("lfsr-circulant", 75.0)]["prd_percent"]
+            > by_key[("lfsr-circulant", 50.0)]["prd_percent"]
+        )

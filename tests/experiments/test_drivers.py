@@ -1,0 +1,196 @@
+"""Tests for the experiment drivers on tiny workloads.
+
+These verify the *shape* claims of every reproduced figure without the
+full sweep sizes (the benchmarks run the real thing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import SyntheticMitBih
+from repro.experiments import (
+    render_table,
+    run_cr_sweep,
+    run_encoder_budget,
+    run_fig2,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_sensing_ablation,
+    run_simd_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    return SyntheticMitBih(duration_s=24.0, seed=2011)
+
+
+@pytest.fixture(scope="module")
+def tiny_records(tiny_db):
+    return ("100", "106")
+
+
+class TestCrSweep:
+    def test_outcomes_per_cr(self, tiny_db, tiny_records):
+        outcomes = run_cr_sweep(
+            nominal_crs=(40.0, 70.0),
+            records=tiny_records,
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert len(outcome.points) == 6
+            assert 0.0 < outcome.measured_cr < 100.0
+
+    def test_snr_decreases_with_cr(self, tiny_db, tiny_records):
+        outcomes = run_cr_sweep(
+            nominal_crs=(30.0, 80.0),
+            records=tiny_records,
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        low, high = outcomes[0].summary(), outcomes[1].summary()
+        assert low["snr_db"] > high["snr_db"]
+
+    def test_measured_cr_beats_nominal(self, tiny_db, tiny_records):
+        """Entropy coding must add compression beyond m/n."""
+        outcomes = run_cr_sweep(
+            nominal_crs=(50.0,),
+            records=tiny_records,
+            packets_per_record=4,
+            database=tiny_db,
+        )
+        assert outcomes[0].measured_cr > outcomes[0].nominal_cr
+
+
+class TestFig2:
+    def test_sparse_close_to_gaussian(self, tiny_db, tiny_records):
+        rows = run_fig2(
+            nominal_crs=(50.0, 70.0),
+            records=tiny_records,
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            # "no meaningful performance difference": within a few dB
+            assert abs(row["snr_gap_db"]) < 5.0
+        # monotone: SNR drops as CR rises for both pipelines
+        assert rows[0]["sparse_snr_db"] > rows[1]["sparse_snr_db"]
+        assert rows[0]["gaussian_snr_db"] > rows[1]["gaussian_snr_db"]
+
+
+class TestFig6:
+    def test_float32_matches_float64(self, tiny_db, tiny_records):
+        rows = run_fig6(
+            nominal_crs=(40.0, 60.0),
+            records=tiny_records,
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        for row in rows:
+            assert row["prd_gap_percent"] < 0.5
+        assert rows[0]["prd64_percent"] < rows[1]["prd64_percent"]
+
+
+class TestFig7:
+    def test_iterations_and_time_increase_with_cr(self, tiny_db, tiny_records):
+        rows = run_fig7(
+            nominal_crs=(30.0, 70.0),
+            records=tiny_records,
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        assert rows[0]["iterations"] < rows[1]["iterations"]
+        assert rows[0]["iphone_time_s"] < rows[1]["iphone_time_s"]
+
+    def test_iterations_in_paper_band(self, tiny_db, tiny_records):
+        rows = run_fig7(
+            nominal_crs=(40.0,),
+            records=tiny_records,
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        assert 300 <= rows[0]["iterations"] <= 2000
+
+
+class TestFig8:
+    def test_realtime_claims(self, tiny_db):
+        report, summary = run_fig8(
+            packets=6, duration_s=60.0, database=tiny_db
+        )
+        assert summary["node_cpu_percent"] < 5.0
+        assert summary["phone_cpu_percent"] < 30.0
+        assert summary["realtime"] is True
+        assert report.packets_decoded > 0
+
+
+class TestEncoderBudget:
+    def test_headline_numbers(self, tiny_db):
+        budget = run_encoder_budget(database=tiny_db)
+        assert budget["sensing_time_ms"] == pytest.approx(82.0, abs=0.5)
+        assert budget["node_cpu_percent"] < 5.0
+        assert budget["ram_bytes"] == 6656
+        assert budget["huffman_flash_bytes"] == 1536
+        approaches = {row["approach"]: row for row in budget["approaches"]}
+        assert not approaches["onboard-gaussian"]["realtime"]
+        assert approaches["sparse-binary"]["realtime"]
+        assert not approaches["stored-gaussian"]["fits_memory"]
+
+    def test_lifetime_reference_point(self, tiny_db):
+        budget = run_encoder_budget(database=tiny_db)
+        reference = budget["lifetime"][-1]
+        assert reference["extension_percent"] == pytest.approx(12.9, abs=0.1)
+
+
+class TestSimdAblation:
+    def test_all_sections_present(self):
+        ablation = run_simd_ablation()
+        assert ablation["fig3_max_deviation"] == 0.0
+        assert all(r["fastest"] == "array-padding" for r in ablation["fig3"])
+        assert ablation["fig4"]["max_deviation"] == 0.0
+        assert ablation["fig4"]["speedup"] > 4.0
+        assert all(r["outer_wins"] for r in ablation["fig5"])
+        assert ablation["speedup_at_1000_iters"] == pytest.approx(2.43, abs=0.15)
+        assert ablation["max_iterations_scalar"] == pytest.approx(800, abs=8)
+        assert ablation["max_iterations_neon"] == pytest.approx(2000, abs=20)
+
+    def test_kernel_table_shows_gather_bottleneck(self):
+        ablation = run_simd_ablation()
+        by_kernel = {r["kernel"]: r for r in ablation["iteration_kernels"]}
+        assert by_kernel["idwt"]["speedup"] > by_kernel["sparse Phi v"]["speedup"]
+
+
+class TestSensingAblation:
+    def test_d_sweep_shape(self, tiny_db):
+        rows = run_sensing_ablation(
+            d_values=(4, 12),
+            records=("100",),
+            packets_per_record=3,
+            database=tiny_db,
+        )
+        assert len(rows) == 2
+        d4, d12 = rows
+        # more ones per column: better recovery, more encode time
+        assert d12["snr_db"] >= d4["snr_db"] - 1.0
+        assert d12["sensing_time_ms"] > d4["sensing_time_ms"]
+        assert d12["additions_per_packet"] == 3.0 * d4["additions_per_packet"]
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table(
+            [{"a": 1.0, "b": True}, {"a": 2.5, "b": False}],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "2.500" in text
+        assert "yes" in text and "no" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([])

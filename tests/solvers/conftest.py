@@ -1,0 +1,32 @@
+"""Shared synthetic sparse-recovery problems for solver tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sensing import SparseBinaryMatrix
+from repro.wavelet import WaveletTransform
+
+
+@pytest.fixture(scope="module")
+def sparse_problem():
+    """A well-posed CS problem: 20-sparse in db4, 128 of 256 measurements."""
+    rng = np.random.default_rng(42)
+    n, m, sparsity = 256, 128, 20
+    transform = WaveletTransform(n, "db4", 4)
+    alpha = np.zeros(n)
+    support = rng.choice(n, sparsity, replace=False)
+    alpha[support] = rng.standard_normal(sparsity) * 5.0
+    x = transform.inverse(alpha)
+    phi = SparseBinaryMatrix(m, n, d=8, seed=7)
+    system = phi.sparse() @ transform.synthesis_matrix()
+    y = phi.measure(x)
+    return {
+        "system": np.asarray(system),
+        "y": y,
+        "alpha_true": alpha,
+        "x_true": x,
+        "transform": transform,
+        "sparsity": sparsity,
+    }

@@ -1,0 +1,102 @@
+"""Tests for least-squares debiasing of l1 solutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solvers import debias, fista, lambda_from_fraction
+
+
+class TestDebias:
+    def test_reduces_residual(self, sparse_problem):
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        lam = lambda_from_fraction(a, y, 0.02)
+        biased = fista(a, y, lam, max_iterations=2000, tolerance=1e-6)
+        refined = debias(a, y, biased, support_threshold=1e-6)
+        assert refined.residual_norm <= biased.residual_norm + 1e-9
+
+    def test_support_preserved_or_shrunk(self, sparse_problem):
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        lam = lambda_from_fraction(a, y, 0.02)
+        biased = fista(a, y, lam, max_iterations=2000, tolerance=1e-6)
+        refined = debias(a, y, biased, support_threshold=1e-6)
+        before = set(np.flatnonzero(np.abs(biased.coefficients) > 1e-6))
+        after = set(np.flatnonzero(refined.coefficients != 0))
+        assert after <= before
+
+    def test_improves_recovery_of_exactly_sparse(self, sparse_problem):
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        lam = lambda_from_fraction(a, y, 0.05)  # heavy shrinkage
+        biased = fista(a, y, lam, max_iterations=3000, tolerance=1e-7)
+        refined = debias(a, y, biased, support_threshold=1e-6)
+        transform = sparse_problem["transform"]
+        x_true = sparse_problem["x_true"]
+        prd_biased = np.linalg.norm(
+            transform.inverse(biased.coefficients) - x_true
+        )
+        prd_refined = np.linalg.norm(
+            transform.inverse(refined.coefficients) - x_true
+        )
+        assert prd_refined < prd_biased
+
+    def test_max_support_cap(self, sparse_problem):
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        lam = lambda_from_fraction(a, y, 0.01)
+        biased = fista(a, y, lam, max_iterations=1000, tolerance=1e-5)
+        refined = debias(a, y, biased, max_support=5)
+        assert np.count_nonzero(refined.coefficients) <= 5
+
+    def test_empty_support(self, sparse_problem):
+        from repro.solvers.base import SolverResult
+
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        zero = SolverResult(
+            coefficients=np.zeros(a.shape[1]),
+            iterations=1,
+            converged=True,
+            stop_reason="test",
+            residual_norm=float(np.linalg.norm(y)),
+        )
+        refined = debias(a, y, zero)
+        assert np.allclose(refined.coefficients, 0.0)
+        assert "empty" in refined.stop_reason
+
+    def test_oversized_support_returned_unchanged(self, sparse_problem):
+        from repro.solvers.base import SolverResult
+
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        dense_result = SolverResult(
+            coefficients=np.ones(a.shape[1]),
+            iterations=1,
+            converged=True,
+            stop_reason="test",
+            residual_norm=1.0,
+        )
+        assert debias(a, y, dense_result) is dense_result
+
+    def test_validation(self, sparse_problem):
+        from repro.solvers.base import SolverResult
+
+        a, y = sparse_problem["system"], sparse_problem["y"]
+        result = SolverResult(
+            coefficients=np.zeros(a.shape[1]),
+            iterations=1,
+            converged=True,
+            stop_reason="t",
+            residual_norm=0.0,
+        )
+        with pytest.raises(SolverError):
+            debias(a, y, result, support_threshold=-1.0)
+        with pytest.raises(SolverError):
+            debias(a, y, result, max_support=0)
+        bad = SolverResult(
+            coefficients=np.zeros(3),
+            iterations=1,
+            converged=True,
+            stop_reason="t",
+            residual_norm=0.0,
+        )
+        with pytest.raises(SolverError):
+            debias(a, y, bad)

@@ -1,0 +1,81 @@
+"""Tests for the three soft-threshold implementations (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.solvers import (
+    soft_threshold,
+    soft_threshold_branchy,
+    soft_threshold_if_converted,
+)
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        u = np.array([3.0, -3.0, 0.5, -0.5, 0.0])
+        out = soft_threshold(u, 1.0)
+        assert np.allclose(out, [2.0, -2.0, 0.0, 0.0, 0.0])
+
+    def test_zero_threshold_is_identity(self, rng):
+        u = rng.standard_normal(32)
+        assert np.allclose(soft_threshold(u, 0.0), u)
+
+    def test_negative_threshold_rejected(self):
+        for fn in (
+            soft_threshold,
+            soft_threshold_branchy,
+            soft_threshold_if_converted,
+        ):
+            with pytest.raises(ValueError):
+                fn(np.zeros(4), -1.0)
+
+    def test_float32_preserved(self, rng):
+        u = rng.standard_normal(16).astype(np.float32)
+        assert soft_threshold(u, 0.5).dtype == np.float32
+
+    def test_prox_optimality_condition(self, rng):
+        """p = prox(u) satisfies u - p in t * subgradient(|p|)."""
+        u = rng.standard_normal(64)
+        t = 0.7
+        p = soft_threshold(u, t)
+        residual = u - p
+        nonzero = p != 0
+        assert np.allclose(residual[nonzero], t * np.sign(p[nonzero]))
+        assert np.all(np.abs(residual[~nonzero]) <= t + 1e-12)
+
+
+class TestEquivalence:
+    """The paper's claim in Figure 4: the transformation is exact."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        hnp.arrays(
+            np.float64, st.integers(1, 64),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.floats(0.0, 100.0),
+    )
+    def test_all_three_forms_identical(self, u, threshold):
+        base = soft_threshold(u, threshold)
+        assert np.array_equal(soft_threshold_branchy(u, threshold), base)
+        assert np.array_equal(soft_threshold_if_converted(u, threshold), base)
+
+    def test_exact_threshold_boundary(self):
+        u = np.array([1.0, -1.0])
+        for fn in (
+            soft_threshold,
+            soft_threshold_branchy,
+            soft_threshold_if_converted,
+        ):
+            assert np.allclose(fn(u, 1.0), [0.0, 0.0])
+
+    def test_nonexpansiveness(self, rng):
+        """||prox(u) - prox(v)|| <= ||u - v||."""
+        u, v = rng.standard_normal(64), rng.standard_normal(64)
+        pu, pv = soft_threshold(u, 0.4), soft_threshold(v, 0.4)
+        assert np.linalg.norm(pu - pv) <= np.linalg.norm(u - v) + 1e-12

@@ -1,0 +1,75 @@
+"""Tests for the repro-ecg command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_quickstart(self, capsys):
+        code = main(
+            [
+                "quickstart",
+                "--record", "100",
+                "--cr", "50",
+                "--packets", "2",
+                "--duration", "12",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "measured_cr" in captured
+        assert "snr_db" in captured
+
+    def test_sweep_fig7(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--figure", "fig7",
+                "--records", "1",
+                "--packets", "2",
+                "--duration", "12",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "iterations" in captured
+        assert "iphone_time_s" in captured
+
+    def test_fig8(self, capsys):
+        code = main(["fig8", "--packets", "3", "--duration", "30"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "node_cpu_percent" in captured
+        assert "buffer_min_s" in captured
+
+    def test_budget(self, capsys):
+        code = main(["budget"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "sensing_ms" in captured
+        assert "sparse-binary" in captured
+
+    def test_simd(self, capsys):
+        code = main(["simd"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "array-padding" in captured
+        assert "cap_neon" in captured
+
+    def test_records(self, capsys):
+        code = main(["records"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "atrial-fibrillation" in captured
+        assert captured.count("\n") > 48
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["quickstart", "--record", "999"])

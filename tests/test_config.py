@@ -1,0 +1,169 @@
+"""Tests for repro.config.SystemConfig and module constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import (
+    HUFFMAN_MAX_CODE_BITS,
+    HUFFMAN_SYMBOLS,
+    PACKET_SAMPLES,
+    PAPER_DEFAULT,
+    SystemConfig,
+    config_for_cr_sweep,
+    db_snr_from_prd,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstants:
+    def test_packet_samples_is_512(self):
+        assert PACKET_SAMPLES == 512
+
+    def test_huffman_alphabet_is_512_symbols(self):
+        assert HUFFMAN_SYMBOLS == 512
+
+    def test_huffman_codeword_cap_is_16_bits(self):
+        assert HUFFMAN_MAX_CODE_BITS == 16
+
+
+class TestSystemConfigValidation:
+    def test_defaults_are_paper_operating_point(self):
+        cfg = SystemConfig()
+        assert cfg.n == 512
+        assert cfg.m == 256
+        assert cfg.d == 12
+        assert cfg.sample_rate_hz == 256
+
+    def test_paper_default_singleton_matches(self):
+        assert PAPER_DEFAULT == SystemConfig()
+
+    def test_non_power_of_two_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=500)
+
+    def test_m_larger_than_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=512, m=513)
+
+    def test_zero_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(m=0)
+
+    def test_d_larger_than_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(m=16, d=17)
+
+    def test_negative_lam_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(lam=-0.1)
+
+    def test_zero_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(tolerance=0.0)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(levels=0)
+
+    def test_zero_max_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(max_iterations=0)
+
+    def test_keyframe_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(keyframe_interval=0)
+
+    def test_adc_bits_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(adc_bits=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(adc_bits=17)
+
+    def test_original_bits_below_adc_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(adc_bits=12, original_sample_bits=11)
+
+
+class TestDerivedQuantities:
+    def test_packet_seconds_is_two(self):
+        assert SystemConfig().packet_seconds == pytest.approx(2.0)
+
+    def test_packets_per_second(self):
+        assert SystemConfig().packets_per_second == pytest.approx(0.5)
+
+    def test_undersampling_ratio(self):
+        assert SystemConfig(m=256).undersampling_ratio == pytest.approx(0.5)
+
+    def test_nominal_cr(self):
+        assert SystemConfig(m=256).nominal_cr_percent == pytest.approx(50.0)
+
+    def test_original_packet_bits(self):
+        assert SystemConfig().original_packet_bits == 512 * 12
+
+    def test_with_target_cr_roundtrip(self):
+        cfg = SystemConfig().with_target_cr(75.0)
+        assert cfg.m == 128
+        assert cfg.nominal_cr_percent == pytest.approx(75.0)
+
+    def test_with_target_cr_invalid(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().with_target_cr(100.0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig().with_target_cr(-1.0)
+
+    def test_with_target_cr_never_below_d(self):
+        cfg = SystemConfig().with_target_cr(99.9)
+        assert cfg.m >= cfg.d
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().replace(m=0)
+
+    def test_replace_changes_field(self):
+        assert SystemConfig().replace(d=6).d == 6
+
+    def test_max_wavelet_levels(self):
+        cfg = SystemConfig()
+        # every level's input length must stay >= the filter length:
+        # 512, 256, ..., 8 for an 8-tap filter -> 7 levels
+        assert cfg.max_wavelet_levels(8) == 7
+        assert cfg.max_wavelet_levels(2) == 9
+
+    def test_max_wavelet_levels_invalid_filter(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().max_wavelet_levels(1)
+
+    def test_summary_mentions_key_fields(self):
+        text = SystemConfig().summary()
+        assert "n=512" in text and "d=12" in text
+
+    @given(st.floats(min_value=0.0, max_value=95.0))
+    def test_with_target_cr_hits_target_within_rounding(self, cr):
+        cfg = SystemConfig().with_target_cr(cr)
+        # m rounds to the nearest integer: CR error bounded by 1/n
+        assert abs(cfg.nominal_cr_percent - cr) <= 100.0 / cfg.n + 1e-9
+
+
+class TestSweepHelpers:
+    def test_config_for_cr_sweep_keys(self):
+        configs = config_for_cr_sweep((30.0, 50.0))
+        assert set(configs) == {30.0, 50.0}
+        assert configs[50.0].m == 256
+
+    def test_db_snr_from_prd_matches_formula(self):
+        assert db_snr_from_prd(100.0) == pytest.approx(0.0)
+        assert db_snr_from_prd(10.0) == pytest.approx(20.0)
+        assert db_snr_from_prd(1.0) == pytest.approx(40.0)
+
+    def test_db_snr_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            db_snr_from_prd(0.0)
+
+    @given(st.floats(min_value=0.01, max_value=1000.0))
+    def test_snr_monotone_decreasing_in_prd(self, prd):
+        assert db_snr_from_prd(prd) >= db_snr_from_prd(prd * 1.5) - 1e-9

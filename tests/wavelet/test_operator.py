@@ -1,0 +1,100 @@
+"""Tests for the matrix-free operator layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.wavelet import (
+    ComposedOperator,
+    DenseOperator,
+    WaveletSynthesisOperator,
+    WaveletTransform,
+)
+
+
+class TestDenseOperator:
+    def test_matvec_matches_matmul(self, rng):
+        matrix = rng.standard_normal((10, 20))
+        op = DenseOperator(matrix)
+        x = rng.standard_normal(20)
+        assert np.allclose(op.matvec(x), matrix @ x)
+        y = rng.standard_normal(10)
+        assert np.allclose(op.rmatvec(y), matrix.T @ y)
+
+    def test_sparse_matrix_supported(self, rng):
+        matrix = sp.random(12, 30, density=0.2, random_state=0, format="csr")
+        op = DenseOperator(matrix)
+        x = rng.standard_normal(30)
+        assert np.allclose(op.matvec(x), matrix @ x)
+        assert np.allclose(op.to_dense(), matrix.toarray())
+
+    def test_shape(self):
+        assert DenseOperator(np.zeros((3, 7))).shape == (3, 7)
+
+    def test_to_dense_identity(self):
+        matrix = np.arange(6.0).reshape(2, 3)
+        assert np.array_equal(DenseOperator(matrix).to_dense(), matrix)
+
+
+class TestWaveletSynthesisOperator:
+    def test_matvec_is_inverse_transform(self, rng):
+        t = WaveletTransform(64, "db4", 3)
+        op = WaveletSynthesisOperator(t)
+        c = rng.standard_normal(64)
+        assert np.allclose(op.matvec(c), t.inverse(c))
+
+    def test_rmatvec_is_forward_transform(self, rng):
+        t = WaveletTransform(64, "db4", 3)
+        op = WaveletSynthesisOperator(t)
+        x = rng.standard_normal(64)
+        assert np.allclose(op.rmatvec(x), t.forward(x))
+
+    def test_to_dense_matches_synthesis_matrix(self):
+        t = WaveletTransform(64, "db2", 3)
+        assert np.allclose(
+            WaveletSynthesisOperator(t).to_dense(), t.synthesis_matrix()
+        )
+
+
+class TestComposedOperator:
+    def test_composition_matches_product(self, rng):
+        a = rng.standard_normal((5, 8))
+        b = rng.standard_normal((8, 12))
+        composed = ComposedOperator(DenseOperator(a), DenseOperator(b))
+        x = rng.standard_normal(12)
+        assert np.allclose(composed.matvec(x), a @ b @ x)
+        y = rng.standard_normal(5)
+        assert np.allclose(composed.rmatvec(y), b.T @ a.T @ y)
+        assert np.allclose(composed.to_dense(), a @ b)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedOperator(
+                DenseOperator(np.zeros((3, 4))), DenseOperator(np.zeros((5, 6)))
+            )
+
+    def test_matmul_syntax(self, rng):
+        a = DenseOperator(rng.standard_normal((4, 6)))
+        b = DenseOperator(rng.standard_normal((6, 9)))
+        composed = a @ b
+        assert composed.shape == (4, 9)
+
+    def test_adjoint_consistency(self, rng):
+        """<A x, y> == <x, A^T y> for the composed CS operator."""
+        t = WaveletTransform(64, "db4", 3)
+        phi = rng.standard_normal((32, 64))
+        a = ComposedOperator(DenseOperator(phi), WaveletSynthesisOperator(t))
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(32)
+        assert np.dot(a.matvec(x), y) == pytest.approx(
+            np.dot(x, a.rmatvec(y)), rel=1e-10
+        )
+
+    def test_generic_to_dense_from_matvec(self, rng):
+        """LinearOperator.to_dense default path (column probing)."""
+        t = WaveletTransform(32, "haar", 3)
+        op = WaveletSynthesisOperator(t)
+        dense = super(WaveletSynthesisOperator, op).to_dense()
+        assert np.allclose(dense, t.synthesis_matrix())
