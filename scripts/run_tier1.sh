@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification + batched-decode benchmark smoke.
+#
+#   scripts/run_tier1.sh          # full test suite + smoke benchmark
+#   scripts/run_tier1.sh --fast   # skip the benchmark smoke
+#
+# The tier-1 command is the repo's ROADMAP-pinned gate; the smoke run
+# exercises the batched decode engine end-to-end (bit-exact packets,
+# equivalence asserts) with timing thresholds relaxed so it stays fast
+# on any machine.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== batched decode benchmark (smoke mode) =="
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_batched_decode.py -q
+fi
+
+echo "== tier-1 OK =="

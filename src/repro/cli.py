@@ -50,6 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--cr", type=float, default=50.0, help="nominal CR percent")
     quick.add_argument("--packets", type=int, default=8)
     quick.add_argument("--duration", type=float, default=40.0)
+    quick.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "decode this many windows per batched-FISTA call "
+            "(default: serial reference decode, one window at a time)"
+        ),
+    )
 
     sweep = sub.add_parser("sweep", help="regenerate a figure's series")
     sweep.add_argument("--figure", choices=_FIGURES, default="fig7")
@@ -74,15 +83,24 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     record = database.load(args.record)
     system = EcgMonitorSystem(config)
     system.calibrate(record)
-    stream = system.stream(record, max_packets=args.packets)
+    stream = system.stream(
+        record, max_packets=args.packets, batch_size=args.batch_size
+    )
+    engine = (
+        f"batched x{args.batch_size}"
+        if args.batch_size is not None and args.batch_size > 1
+        else "serial"
+    )
     row = {
         "record": args.record,
         "rhythm": record.rhythm,
+        "engine": engine,
         "packets": stream.num_packets,
         "measured_cr": stream.compression_ratio_percent,
         "prd_percent": stream.mean_prd_percent,
         "snr_db": stream.mean_snr_db,
         "iterations": stream.mean_iterations,
+        "decode_ms": 1000.0 * stream.mean_decode_seconds,
     }
     print(render_table([row], title=f"quickstart @ nominal CR {args.cr:.0f} %"))
     return 0

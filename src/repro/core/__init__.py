@@ -9,7 +9,10 @@
 - :mod:`repro.core.decoder` — :class:`CSDecoder`, the mirrored pipeline
   (Huffman -> packet reconstruction -> FISTA -> inverse wavelet);
 - :mod:`repro.core.system` — :class:`EcgMonitorSystem`, streaming a
-  record end-to-end and collecting CR/PRD/SNR/iteration statistics.
+  record end-to-end and collecting CR/PRD/SNR/iteration statistics;
+- :mod:`repro.core.batch` — the batched decode engine: whole-record
+  windowing, vectorized sensing/differencing and multi-window
+  batched-FISTA reconstruction behind ``stream(batch_size=...)``.
 """
 
 from .quantizer import MeasurementQuantizer
@@ -18,8 +21,12 @@ from .encoder import CSEncoder, EncoderStats
 from .decoder import CSDecoder, DecodedPacket
 from .system import EcgMonitorSystem, StreamResult, PacketResult
 from .multichannel import MultiChannelMonitor, MultiChannelResult
+from .batch import DEFAULT_BATCH_SIZE, stream_batched, window_record
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "stream_batched",
+    "window_record",
     "MeasurementQuantizer",
     "EncodedPacket",
     "PacketKind",

@@ -1,0 +1,106 @@
+"""Batched whole-record streaming: many windows per solver call.
+
+The serial :meth:`~repro.core.system.EcgMonitorSystem.stream` loop is
+the paper's real-time story — one packet in, one packet out.  A
+production coordinator (or an offline re-analysis job) instead holds
+seconds-to-hours of signal and wants throughput: this module windows a
+whole record in one shot, runs the *same* three encoder stages with the
+block-vectorized kernels (``Phi @ windows`` sensing, batched
+quantization and differencing), and reconstructs ``batch_size`` windows
+per :class:`~repro.solvers.batched.BatchedFista` call.
+
+The output is the same :class:`~repro.core.system.StreamResult` the
+serial path produces, with bit-identical packets (the encoder stages
+are integer-exact) and reconstructions matching to solver
+floating-point noise — the serial path stays the reference
+implementation, and ``tests/core/test_batch.py`` pins the equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..ecg.records import Record
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .system import EcgMonitorSystem, StreamResult
+
+#: default reconstruction block width; past ~32 columns the GEMM pair
+#: dominates per-iteration cost and the speedup saturates (see
+#: ``benchmarks/bench_batched_decode.py``)
+DEFAULT_BATCH_SIZE = 32
+
+
+def window_record(samples: np.ndarray, n: int, max_windows: int | None = None) -> np.ndarray:
+    """Slice a 1-D sample stream into a ``(B, n)`` block of windows.
+
+    Trailing samples that do not fill a whole window are dropped,
+    matching the serial streaming loop.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 1:
+        raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    count = len(samples) // n
+    if max_windows is not None:
+        count = min(count, max_windows)
+    return samples[: count * n].reshape(count, n)
+
+
+def stream_batched(
+    system: "EcgMonitorSystem",
+    record: Record,
+    channel: int = 0,
+    max_packets: int | None = None,
+    keep_signals: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> "StreamResult":
+    """Stream one record channel using the batched decode engine.
+
+    Drop-in equivalent of ``system.stream(...)``: encodes the whole
+    record with the block-vectorized encoder, then reconstructs
+    ``batch_size`` windows per batched-FISTA call.  The per-packet
+    ``decode_seconds`` is the batch wall-clock amortized over its
+    columns (the quantity a throughput-oriented deployment budgets).
+    """
+    from .system import StreamResult, packet_result
+
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+    samples = system._prepare_samples(record, channel)
+    n = system.config.n
+    windows = window_record(samples, n, max_packets)
+    if windows.shape[0] == 0:
+        raise ValueError(
+            f"record too short: {len(samples)} samples < one window of {n}"
+        )
+
+    system.encoder.reset()
+    system.decoder.reset()
+    offset = system.encoder.dc_offset
+
+    packets = system.encoder.encode_batch(windows)
+
+    result = StreamResult(
+        record=record.name, channel=channel, config=system.config
+    )
+    reconstructed: list[np.ndarray] = []
+
+    for start in range(0, len(packets), batch_size):
+        chunk = packets[start : start + batch_size]
+        decoded_chunk = system.decoder.decode_batch(chunk)
+        for index, decoded in enumerate(decoded_chunk):
+            result.packets.append(
+                packet_result(windows[start + index], chunk[index], decoded, offset)
+            )
+            if keep_signals:
+                reconstructed.append(decoded.samples_adu)
+
+    if keep_signals:
+        result.original_adu = windows.astype(np.float64).reshape(-1)
+        result.reconstructed_adu = np.concatenate(reconstructed)
+    return result

@@ -109,23 +109,64 @@ class CSEncoder:
         y_int = self.matrix.measure_integer(centered)
         return self.quantizer.quantize(y_int)
 
+    def measure_batch(self, windows_adu: np.ndarray) -> np.ndarray:
+        """Stage 1 for a ``(B, n)`` block: one sparse matmul + quantize.
+
+        Row ``b`` equals ``measure(windows_adu[b])`` bit for bit — the
+        sensing sum and the shift quantizer are integer-exact.
+        """
+        x = check_integer_array(np.asarray(windows_adu), "windows_adu")
+        if x.ndim != 2 or x.shape[1] != self.config.n:
+            raise ValueError(
+                f"expected batch shape (B, {self.config.n}), got shape {x.shape}"
+            )
+        centered = x.astype(np.int64) - self.dc_offset
+        y_int = self.matrix.measure_integer_batch(centered)
+        return self.quantizer.quantize(y_int)
+
     def encode(self, samples_adu: np.ndarray) -> EncodedPacket:
         """Encode one N-sample window into an on-air packet."""
         y_q = self.measure(samples_adu)
         is_keyframe, payload_values = self.codec.encode(y_q)
+        return self._packetize(
+            is_keyframe, payload_values, self.codec.last_clip_count
+        )
 
+    def encode_batch(self, windows_adu: np.ndarray) -> list[EncodedPacket]:
+        """Encode a ``(B, n)`` block of windows into on-air packets.
+
+        Produces exactly the packets (and the same running stats) that
+        ``[encode(w) for w in windows_adu]`` would: sensing and
+        quantization are vectorized across the block, differencing runs
+        segment-at-a-time through the codec's batched closed loop, and
+        only the Huffman bitstream remains per-packet.
+        """
+        y_q = self.measure_batch(windows_adu)
+        pairs = self.codec.encode_batch(y_q)
+        clip_counts = self.codec.last_batch_clip_counts
+        return [
+            self._packetize(is_keyframe, values, int(clip_counts[index]))
+            for index, (is_keyframe, values) in enumerate(pairs)
+        ]
+
+    def _packetize(
+        self,
+        is_keyframe: bool,
+        payload_values: np.ndarray,
+        clip_count: int,
+    ) -> EncodedPacket:
+        """Stage 3 + stats: shared by the serial and batched paths.
+
+        ``clip_count`` is the codec's *strict* clipping count (values
+        that fell outside the rails before saturation); rail-valued
+        differences are representable symbols and are not saturation.
+        """
         if is_keyframe:
             payload, payload_bits = pack_keyframe_values(payload_values)
             kind = PacketKind.KEYFRAME
             self.stats.keyframes += 1
         else:
-            saturated = int(
-                np.count_nonzero(
-                    (payload_values <= self.codec.diff_min)
-                    | (payload_values >= self.codec.diff_max)
-                )
-            )
-            self.stats.saturated_symbols += saturated
+            self.stats.saturated_symbols += int(clip_count)
             self.stats.total_symbols += len(payload_values)
             writer = BitWriter()
             for value in payload_values:

@@ -109,8 +109,15 @@ class MultiChannelMonitor:
         record: Record,
         max_packets: int | None = None,
         keep_signals: bool = False,
+        batch_size: int | None = None,
     ) -> MultiChannelResult:
-        """Stream every available lead of a record."""
+        """Stream every available lead of a record.
+
+        ``batch_size`` selects the batched decode engine per lead (see
+        :meth:`EcgMonitorSystem.stream`); a multi-lead record is the
+        natural batched workload — every lead contributes a full block
+        of windows to reconstruct.
+        """
         if record.num_channels < self.num_channels:
             raise ConfigurationError(
                 f"record has {record.num_channels} channels, "
@@ -124,6 +131,7 @@ class MultiChannelMonitor:
                     channel=channel,
                     max_packets=max_packets,
                     keep_signals=keep_signals,
+                    batch_size=batch_size,
                 )
             )
         return result

@@ -59,7 +59,9 @@ class MeasurementQuantizer:
 
         Implemented as ``(y + step/2) >> shift`` for non-negative values
         and symmetrically for negatives, matching a two-instruction
-        firmware sequence.
+        firmware sequence.  Shape-agnostic: a ``(B, m)`` block of
+        stacked measurement windows quantizes in one call, exactly
+        row-for-row what per-window calls would produce.
         """
         y = check_integer_array(np.asarray(y_int), "y_int").astype(np.int64)
         if self.shift == 0:

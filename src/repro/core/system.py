@@ -19,9 +19,9 @@ from ..config import SystemConfig
 from ..ecg.records import Record
 from ..ecg.resample import resample_record
 from ..metrics import compression_ratio, prd, snr_from_prd
-from .decoder import CSDecoder
+from .decoder import CSDecoder, DecodedPacket
 from .encoder import CSEncoder
-from .packets import EncodedPacket
+from .packets import EncodedPacket, PacketKind
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,27 @@ class PacketResult:
     snr_db: float
     iterations: int
     decode_seconds: float
+
+
+def packet_result(
+    window_adu: np.ndarray,
+    packet: EncodedPacket,
+    decoded: DecodedPacket,
+    dc_offset: int,
+) -> PacketResult:
+    """Per-window metrics shared by the serial and batched streams."""
+    centered_original = window_adu.astype(np.float64) - dc_offset
+    centered_reconstruction = decoded.samples_adu - dc_offset
+    packet_prd = prd(centered_original, centered_reconstruction)
+    return PacketResult(
+        sequence=decoded.sequence,
+        is_keyframe=packet.kind is PacketKind.KEYFRAME,
+        packet_bits=packet.total_bits,
+        prd_percent=packet_prd,
+        snr_db=snr_from_prd(packet_prd),
+        iterations=decoded.iterations,
+        decode_seconds=decoded.decode_seconds,
+    )
 
 
 @dataclass
@@ -53,9 +74,17 @@ class StreamResult:
         """Number of processed windows."""
         return len(self.packets)
 
+    def _require_packets(self, metric: str) -> None:
+        if not self.packets:
+            raise ValueError(
+                f"{metric} is undefined for a stream with zero packets "
+                f"(record {self.record!r}, channel {self.channel})"
+            )
+
     @property
     def compression_ratio_percent(self) -> float:
         """Stream-level CR including headers and keyframes."""
+        self._require_packets("compression_ratio_percent")
         total_bits = sum(p.packet_bits for p in self.packets)
         original = self.config.original_packet_bits * self.num_packets
         return compression_ratio(original, total_bits)
@@ -63,21 +92,25 @@ class StreamResult:
     @property
     def mean_prd_percent(self) -> float:
         """Average per-packet PRD."""
+        self._require_packets("mean_prd_percent")
         return float(np.mean([p.prd_percent for p in self.packets]))
 
     @property
     def mean_snr_db(self) -> float:
         """Average per-packet output SNR."""
+        self._require_packets("mean_snr_db")
         return float(np.mean([p.snr_db for p in self.packets]))
 
     @property
     def mean_iterations(self) -> float:
         """Average FISTA iterations per packet."""
+        self._require_packets("mean_iterations")
         return float(np.mean([p.iterations for p in self.packets]))
 
     @property
     def mean_decode_seconds(self) -> float:
         """Average wall-clock decode time per packet (this machine)."""
+        self._require_packets("mean_decode_seconds")
         return float(np.mean([p.decode_seconds for p in self.packets]))
 
     def whole_signal_prd(self) -> float:
@@ -133,8 +166,31 @@ class EcgMonitorSystem:
         channel: int = 0,
         max_packets: int | None = None,
         keep_signals: bool = False,
+        batch_size: int | None = None,
     ) -> StreamResult:
-        """Stream one record channel through the full system."""
+        """Stream one record channel through the full system.
+
+        ``batch_size=None`` (or 1) runs the serial reference loop —
+        one packet encoded and decoded at a time, exactly the paper's
+        real-time pipeline.  ``batch_size=B`` hands the whole record to
+        the batched engine (:mod:`repro.core.batch`): vectorized
+        sensing, batched differencing and ``B`` windows per
+        batched-FISTA solve, with bit-identical packets and matching
+        metrics.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size is not None and batch_size > 1:
+            from .batch import stream_batched
+
+            return stream_batched(
+                self,
+                record,
+                channel=channel,
+                max_packets=max_packets,
+                keep_signals=keep_signals,
+                batch_size=batch_size,
+            )
         samples = self._prepare_samples(record, channel)
         n = self.config.n
         num_windows = len(samples) // n
@@ -157,21 +213,7 @@ class EcgMonitorSystem:
             window = samples[index * n : (index + 1) * n]
             packet = self.encoder.encode(window)
             decoded = self.decoder.decode(packet)
-
-            centered_original = window.astype(np.float64) - offset
-            centered_reconstruction = decoded.samples_adu - offset
-            packet_prd = prd(centered_original, centered_reconstruction)
-            result.packets.append(
-                PacketResult(
-                    sequence=decoded.sequence,
-                    is_keyframe=packet.kind.name == "KEYFRAME",
-                    packet_bits=packet.total_bits,
-                    prd_percent=packet_prd,
-                    snr_db=snr_from_prd(packet_prd),
-                    iterations=decoded.iterations,
-                    decode_seconds=decoded.decode_seconds,
-                )
-            )
+            result.packets.append(packet_result(window, packet, decoded, offset))
             if keep_signals:
                 originals.append(window.astype(np.float64))
                 reconstructed.append(decoded.samples_adu)

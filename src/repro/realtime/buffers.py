@@ -27,7 +27,7 @@ class SampleRingBuffer:
         self.overruns = 0
         self.underruns = 0
         self.max_occupancy = 0
-        self.min_occupancy_after_start = self.capacity
+        self._min_after_start = self.capacity
         self._started = False
 
     # ------------------------------------------------------------------
@@ -40,6 +40,24 @@ class SampleRingBuffer:
     def free(self) -> int:
         """Remaining capacity."""
         return self.capacity - self._occupancy
+
+    @property
+    def started(self) -> bool:
+        """Whether the consumer has performed its first read."""
+        return self._started
+
+    @property
+    def min_occupancy_after_start(self) -> int:
+        """Lowest occupancy seen since the consumer's first read.
+
+        If the consumer never started (the display never drew a pixel),
+        no steady-state minimum exists; the honest answer is 0 — nothing
+        was ever guaranteed to be available to a reader — rather than
+        the full-capacity placeholder the tracker is initialized with.
+        """
+        if not self._started:
+            return 0
+        return self._min_after_start
 
     def occupancy_seconds(self, sample_rate_hz: float) -> float:
         """Occupancy expressed in seconds of signal."""
@@ -91,7 +109,5 @@ class SampleRingBuffer:
                 )
         self._occupancy -= available
         self.total_read += available
-        self.min_occupancy_after_start = min(
-            self.min_occupancy_after_start, self._occupancy
-        )
+        self._min_after_start = min(self._min_after_start, self._occupancy)
         return available

@@ -54,10 +54,16 @@ class Processor:
         return self._free_at
 
     def utilization(self, elapsed: float) -> float:
-        """Busy fraction over an elapsed interval."""
+        """Busy fraction over an elapsed interval.
+
+        Deliberately *not* clamped to 1.0: submitted work is counted in
+        full, so a value above 1 means the CPU was handed more work than
+        the interval holds — the overload signal a real-time report must
+        surface rather than hide.
+        """
         if elapsed <= 0:
             raise RealTimeError(f"elapsed must be positive, got {elapsed}")
-        return min(1.0, self.busy_seconds / elapsed)
+        return self.busy_seconds / elapsed
 
 
 @dataclass(frozen=True)
@@ -227,6 +233,12 @@ class MonitorPipeline:
         elapsed = cfg.duration_s
         display_percent = 100.0 * state["display_busy"] / elapsed
         phone_percent = 100.0 * phone_cpu.utilization(elapsed)
+        # Decode share from the phone CPU's busy-time ledger: everything
+        # the phone did that was not display work.  Computed from busy
+        # seconds directly (not phone_percent - display_percent) so it
+        # cannot go negative under rounding or overload.
+        decode_busy = phone_cpu.busy_seconds - state["display_busy"]
+        decode_percent = 100.0 * max(decode_busy, 0.0) / elapsed
         latencies = state["latencies"]
         return PipelineReport(
             duration_s=elapsed,
@@ -234,7 +246,7 @@ class MonitorPipeline:
             packets_decoded=state["decoded"],
             node_cpu_percent=100.0 * node_cpu.utilization(elapsed),
             phone_cpu_percent=phone_percent,
-            phone_decode_percent=phone_percent - display_percent,
+            phone_decode_percent=decode_percent,
             phone_display_percent=display_percent,
             radio_utilization_percent=100.0 * state["radio_busy"] / elapsed,
             buffer_min_s=buffer.min_occupancy_after_start / system.sample_rate_hz,

@@ -60,6 +60,12 @@ class SparseBinaryMatrix(SensingMatrix):
             (data, (rows.ravel(), col_indices)), shape=(m, n)
         )
         self._csr = self._csc.tocsr()
+        # unscaled 0/1 pattern with integer data: exact batched
+        # accumulation (matching measure_integer) via one sparse matmul
+        ones = np.ones(n * self.d, dtype=np.int64)
+        self._int_csr = sp.csr_matrix(
+            (ones, (rows.ravel(), col_indices)), shape=(m, n)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -108,6 +114,29 @@ class SparseBinaryMatrix(SensingMatrix):
             np.repeat(x.astype(np.int64), self.d),
         )
         if accumulator.max(initial=0) > 2**31 - 1 or accumulator.min(initial=0) < -(2**31):
+            raise SensingError("integer measurement overflows 32-bit accumulator")
+        return accumulator
+
+    def measure_integer_batch(self, x: np.ndarray) -> np.ndarray:
+        """Integer sensing of many windows at once: ``(B, n) -> (B, m)``.
+
+        One sparse integer matmul replaces ``B`` accumulation passes.
+        Integer arithmetic is exact, so every row equals
+        ``measure_integer(x[b])`` bit for bit; the same 32-bit
+        accumulator headroom check applies to the whole batch.
+        """
+        x = check_integer_array(np.asarray(x), "x")
+        if x.ndim != 2 or x.shape[1] != self.n:
+            raise SensingError(
+                f"expected batch shape (B, {self.n}), got {x.shape}"
+            )
+        accumulator = np.asarray(
+            (self._int_csr @ x.astype(np.int64).T).T, dtype=np.int64
+        )
+        if (
+            accumulator.max(initial=0) > 2**31 - 1
+            or accumulator.min(initial=0) < -(2**31)
+        ):
             raise SensingError("integer measurement overflows 32-bit accumulator")
         return accumulator
 

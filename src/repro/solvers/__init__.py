@@ -17,6 +17,11 @@ motivation quantitatively:
   reconstruction (Figueiredo et al. 2007);
 - :func:`~repro.solvers.bp.basis_pursuit` — the LP/interior-point
   formulation (Chen et al. 1999).
+
+:mod:`repro.solvers.batched` scales the adopted FISTA to many windows
+at once: :class:`~repro.solvers.batched.BatchedFista` stacks measurement
+vectors into an ``(m, B)`` matrix and iterates all columns with one GEMM
+pair per step, per-column convergence masking and warm starts.
 """
 
 from .base import SolverResult, as_operator
@@ -24,6 +29,12 @@ from .prox import soft_threshold, soft_threshold_branchy, soft_threshold_if_conv
 from .lipschitz import power_iteration_norm, lipschitz_constant
 from .ista import ista
 from .fista import fista, lambda_from_fraction
+from .batched import (
+    BatchedFista,
+    BatchedSolverResult,
+    batched_fista,
+    batched_lambda_from_fraction,
+)
 from .twist import twist
 from .omp import omp
 from .gpsr import gpsr
@@ -32,6 +43,10 @@ from .debias import debias
 
 __all__ = [
     "debias",
+    "BatchedFista",
+    "BatchedSolverResult",
+    "batched_fista",
+    "batched_lambda_from_fraction",
     "SolverResult",
     "as_operator",
     "soft_threshold",

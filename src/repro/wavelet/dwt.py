@@ -144,6 +144,71 @@ class WaveletTransform:
         return approx
 
     # ------------------------------------------------------------------
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Analysis of many signals at once: ``(n, B) -> (n, B)``.
+
+        Column ``b`` matches ``forward(x[:, b])`` to floating-point
+        rounding (the contraction over the filter axis may associate
+        differently than the serial matmul).
+        """
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"expected shape ({self.n}, B), got {x.shape}")
+        dtype = np.float32 if x.dtype == np.float32 else np.float64
+        h = self._h.astype(dtype)
+        g = self._g.astype(dtype)
+        approx = x.astype(dtype, copy=False)
+        details: list[np.ndarray] = []
+        for gather in self._gather:
+            # (half, filter, B) windows contracted over the filter axis
+            windows = approx[gather]
+            details.append(np.einsum("kfb,f->kb", windows, g, optimize=True))
+            approx = np.einsum("kfb,f->kb", windows, h, optimize=True)
+        out = np.empty((self.n, x.shape[1]), dtype=dtype)
+        out[: approx.shape[0]] = approx
+        position = approx.shape[0]
+        for detail in reversed(details):
+            out[position : position + detail.shape[0]] = detail
+            position += detail.shape[0]
+        return out
+
+    def inverse_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        """Synthesis of many coefficient vectors: ``(n, B) -> (n, B)``.
+
+        The scatter-add runs over the same gather indices in the same
+        order as :meth:`inverse`, so column ``b`` is bit-identical to
+        ``inverse(coefficients[:, b])``.
+        """
+        c = np.asarray(coefficients)
+        if c.ndim != 2 or c.shape[0] != self.n:
+            raise ValueError(f"expected shape ({self.n}, B), got {c.shape}")
+        dtype = np.float32 if c.dtype == np.float32 else np.float64
+        h = self._h.astype(dtype)
+        g = self._g.astype(dtype)
+        batch = c.shape[1]
+
+        coarse = self.n >> self.levels
+        approx = c[:coarse].astype(dtype, copy=True)
+        position = coarse
+        for level in range(self.levels - 1, -1, -1):
+            width = approx.shape[0]
+            detail = c[position : position + width].astype(dtype, copy=False)
+            position += width
+            gather = self._gather[level]
+            signal = np.zeros((2 * width, batch), dtype=dtype)
+            contributions = (
+                approx[:, None, :] * h[None, :, None]
+                + detail[:, None, :] * g[None, :, None]
+            )
+            np.add.at(
+                signal,
+                gather.ravel(),
+                contributions.reshape(-1, batch),
+            )
+            approx = signal
+        return approx
+
+    # ------------------------------------------------------------------
     def synthesis_matrix(self) -> np.ndarray:
         """Dense ``Psi`` (columns are basis vectors); for tests and fast paths."""
         return _dense_synthesis(self.n, self.wavelet.name, self.levels)

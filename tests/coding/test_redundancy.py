@@ -83,10 +83,21 @@ class TestSaturation:
             decoded = decoder.decode(*_swap(encoder.encode(target)))
         assert list(decoded) == [1000]
 
-    def test_saturation_fraction(self):
+    def test_saturation_fraction_is_strict(self):
+        """Regression: rail values are representable, not clipped."""
         codec = DifferentialCodec()
-        assert codec.saturation_fraction(np.array([0, 255, -256, 10])) == 0.5
+        assert codec.saturation_fraction(np.array([0, 255, -256, 10])) == 0.0
+        assert codec.saturation_fraction(np.array([0, 256, -257, 10])) == 0.5
         assert codec.saturation_fraction(np.array([], dtype=int)) == 0.0
+
+    def test_last_clip_count_strict(self):
+        codec = DifferentialCodec()
+        codec.encode(np.array([0, 0, 0]))  # keyframe
+        assert codec.last_clip_count == 0
+        # one exactly at each rail (representable), one truly clipped
+        _, diff = codec.encode(np.array([255, -256, 400]))
+        assert list(diff) == [255, -256, 255]
+        assert codec.last_clip_count == 1
 
 
 def _swap(pair):

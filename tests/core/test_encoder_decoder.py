@@ -207,3 +207,83 @@ class TestDecoder:
         second = warm.decode(encoder.encode(windows[1]))
         # warm start should not need more iterations than a cold first solve
         assert second.iterations <= first.iterations * 1.5
+
+
+class TestSaturationAccounting:
+    """Regression: rail-valued differences are representable symbols —
+    only values *strictly* outside the rails count as saturated."""
+
+    @pytest.fixture()
+    def rail_setup(self):
+        from collections import Counter
+
+        from repro.config import SystemConfig
+
+        # d=1 makes the measurement directly controllable: each sample
+        # column feeds exactly one measurement row
+        config = SystemConfig(n=64, m=16, d=1, levels=3)
+        encoder = CSEncoder(config)
+        rows = encoder.matrix.rows_per_column[:, 0]
+        row, count = Counter(rows.tolist()).most_common(1)[0]
+        assert count >= 4
+        columns = np.flatnonzero(rows == row)[:4]
+        base = 1 << (config.adc_bits - 1)
+        return encoder, columns, base
+
+    def test_rail_exact_diff_not_counted(self, rail_setup):
+        encoder, columns, base = rail_setup
+        flat = np.full(encoder.config.n, base, dtype=np.int64)
+        jump = flat.copy()
+        # 4 columns at +1020 centered: the target row's quantized diff
+        # is exactly 4080/16 = 255 — the positive rail, representable
+        jump[columns] = base + 1020
+        encoder.encode(flat)  # keyframe
+        encoder.encode(jump)  # rail-exact difference
+        assert encoder.stats.total_symbols == encoder.config.m
+        assert encoder.stats.saturated_symbols == 0
+        assert encoder.stats.saturation_fraction == 0.0
+
+    def test_true_clipping_still_counted(self, rail_setup):
+        encoder, columns, base = rail_setup
+        flat = np.full(encoder.config.n, base, dtype=np.int64)
+        up = flat.copy()
+        up[columns] = base + 1020
+        down = flat.copy()
+        down[columns] = base - 1020
+        encoder.encode(flat)  # keyframe
+        encoder.encode(up)    # +255, exactly at the rail
+        encoder.encode(down)  # raw diff -510 < -256: genuinely clipped
+        assert encoder.stats.saturated_symbols == 1
+        assert encoder.stats.saturation_fraction == pytest.approx(
+            1 / (2 * encoder.config.m)
+        )
+
+
+class TestEncodeBatch:
+    def test_bit_exact_vs_serial(self, small_config, windows):
+        serial = CSEncoder(small_config)
+        batched = CSEncoder(small_config)
+        block = np.stack(windows[:6])
+        serial_packets = [serial.encode(w) for w in block]
+        batched_packets = batched.encode_batch(block)
+        assert len(serial_packets) == len(batched_packets)
+        for p_serial, p_batched in zip(serial_packets, batched_packets):
+            assert p_serial.to_bytes() == p_batched.to_bytes()
+        assert serial.stats.per_packet_bits == batched.stats.per_packet_bits
+        assert serial.stats.saturated_symbols == batched.stats.saturated_symbols
+        assert serial.stats.total_symbols == batched.stats.total_symbols
+        assert serial.stats.keyframes == batched.stats.keyframes
+
+    def test_measure_batch_matches_measure(self, small_config, windows):
+        encoder = CSEncoder(small_config)
+        block = np.stack(windows[:4])
+        batch = encoder.measure_batch(block)
+        for index in range(block.shape[0]):
+            np.testing.assert_array_equal(
+                batch[index], encoder.measure(block[index])
+            )
+
+    def test_measure_batch_validates_shape(self, small_config):
+        encoder = CSEncoder(small_config)
+        with pytest.raises(ValueError):
+            encoder.measure_batch(np.zeros((2, 3), dtype=np.int64))

@@ -67,6 +67,40 @@ class TestStreaming:
         assert result.num_packets == 2
 
 
+class TestEmptyStreamGuards:
+    """Regression: zero-packet streams must raise, not return nan."""
+
+    @pytest.fixture()
+    def empty_result(self, small_config):
+        from repro.core import StreamResult
+
+        return StreamResult(record="100", channel=0, config=small_config)
+
+    @pytest.mark.parametrize(
+        "metric",
+        [
+            "compression_ratio_percent",
+            "mean_prd_percent",
+            "mean_snr_db",
+            "mean_iterations",
+            "mean_decode_seconds",
+        ],
+    )
+    def test_metrics_raise_on_zero_packets(self, empty_result, metric):
+        with pytest.raises(ValueError, match="zero packets"):
+            getattr(empty_result, metric)
+
+    def test_no_runtime_warning_raised(self, empty_result, recwarn):
+        with pytest.raises(ValueError):
+            empty_result.mean_prd_percent
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_num_packets_still_zero(self, empty_result):
+        assert empty_result.num_packets == 0
+
+
 class TestCalibration:
     def test_calibrate_syncs_codebooks(self, small_config, database):
         system = EcgMonitorSystem(small_config)

@@ -82,11 +82,25 @@ class TestStatistics:
 
     def test_min_occupancy_starts_at_first_read(self):
         buffer = SampleRingBuffer(100)
-        # the fill phase must not register as a minimum
+        # the fill phase must not register as a minimum, and before the
+        # consumer ever reads there is no steady-state minimum to report
         buffer.write(10)
-        assert buffer.min_occupancy_after_start == 100
+        assert not buffer.started
+        assert buffer.min_occupancy_after_start == 0
         buffer.read(5)
+        assert buffer.started
         assert buffer.min_occupancy_after_start == 5
+
+    def test_min_occupancy_zero_sentinel_when_never_started(self):
+        """Regression: a run whose display never starts must not report
+        a full buffer as its minimum occupancy."""
+        buffer = SampleRingBuffer(100)
+        buffer.write(60)
+        buffer.write(30)
+        assert buffer.min_occupancy_after_start == 0
+        assert buffer.min_occupancy_after_start == int(
+            buffer.min_occupancy_after_start
+        )  # NaN-free integer sentinel
 
     def test_totals(self):
         buffer = SampleRingBuffer(100)

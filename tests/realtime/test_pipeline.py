@@ -36,6 +36,14 @@ class TestProcessor:
         assert cpu.busy_seconds == 2.0
         assert cpu.utilization(10.0) == pytest.approx(0.2)
 
+    def test_overload_not_clamped(self):
+        """Regression: utilization above 1.0 must be reported, not
+        silently clamped — it is the CPU-overload signal."""
+        cpu = Processor("test")
+        for start in range(10):
+            cpu.submit(float(start), 1.5)  # 15 s of work in 10 s
+        assert cpu.utilization(10.0) == pytest.approx(1.5)
+
     def test_validation(self):
         cpu = Processor("test")
         with pytest.raises(RealTimeError):
@@ -123,6 +131,46 @@ class TestDegradedOperation:
         )
         report = MonitorPipeline(config).run()
         assert report.packets_decoded > 0
+
+
+class TestOverloadAccounting:
+    """Regressions for the CPU-overload reporting fixes."""
+
+    def _overloaded(self):
+        # scalar decode of 3000 iterations takes far longer than the
+        # 2 s packet period: the phone CPU is handed more work than
+        # wall-clock time
+        return _run(
+            iterations=3000,
+            decode_pipeline=DecodePipeline.SCALAR_VFP,
+            duration=60.0,
+        )
+
+    def test_overload_shows_above_100_percent(self):
+        report = self._overloaded()
+        assert report.phone_cpu_percent > 100.0
+        assert report.decode_deadline_misses > 0
+
+    def test_decode_share_never_negative(self):
+        report = self._overloaded()
+        assert report.phone_decode_percent >= 0.0
+        # decode share is derived from busy time, not from the
+        # (potentially clamped) total minus display percentages
+        assert report.phone_decode_percent == pytest.approx(
+            report.phone_cpu_percent - report.phone_display_percent,
+            abs=1e-9,
+        )
+
+    def test_buffer_min_zero_when_display_never_starts(self):
+        """Regression: if decoding is so slow the display threshold is
+        never reached, buffer_min_s must report 0, not a full buffer."""
+        report = _run(
+            iterations=20000,
+            decode_pipeline=DecodePipeline.SCALAR_VFP,
+            duration=20.0,
+        )
+        assert report.phone_display_percent == 0.0
+        assert report.buffer_min_s == 0.0
 
 
 class TestConfigValidation:
