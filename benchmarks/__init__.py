@@ -1,0 +1,8 @@
+"""Benchmark harness package.
+
+Being a package lets the bench modules share ``conftest.py`` constants
+via ``from .conftest import ...`` when invoked by file path (pytest
+then imports them package-aware), e.g.::
+
+    pytest benchmarks/bench_fig2_sparse_vs_gaussian.py -q
+"""

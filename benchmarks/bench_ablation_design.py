@@ -40,7 +40,7 @@ def quantizer_rows(bench_database):
     )
 
 
-def test_wavelet_ablation(wavelet_rows, benchmark, bench_database):
+def test_wavelet_ablation(wavelet_rows, benchmark, bench_database, bench_json):
     transform = WaveletTransform(512, "db4", 5)
     import numpy as np
 
@@ -57,6 +57,11 @@ def test_wavelet_ablation(wavelet_rows, benchmark, bench_database):
         > by_name["haar"]["sparsity_50_capture"]
     )
     assert by_name["db4"]["snr_db"] >= by_name["haar"]["snr_db"] - 0.5
+    bench_json(
+        "ablation_design",
+        params={"records": ["100", "119"], "packets_per_record": 5},
+        rows=wavelet_rows,
+    )
 
 
 def test_level_ablation(benchmark, bench_database):

@@ -32,7 +32,7 @@ def d_sweep(bench_database):
     )
 
 
-def test_d_sweep_table(d_sweep, benchmark, paper_point_windows):
+def test_d_sweep_table(d_sweep, benchmark, paper_point_windows, bench_json):
     config = SystemConfig()
     phi = SparseBinaryMatrix(config.m, config.n, d=12, seed=config.seed)
     window = (paper_point_windows[0] - 1024).astype(np.int64)
@@ -54,6 +54,11 @@ def test_d_sweep_table(d_sweep, benchmark, paper_point_windows):
     )
     # d = 12 at the paper's operating point costs 82 ms
     assert by_d[12]["sensing_time_ms"] == pytest.approx(82.0, abs=0.5)
+    bench_json(
+        "ablation_sensing_d",
+        params={"d_values": list(D_VALUES), "nominal_cr": 60.0},
+        rows=d_sweep,
+    )
 
 
 @pytest.mark.parametrize("d", [4, 12, 24])

@@ -33,7 +33,7 @@ def ablation():
     return run_simd_ablation()
 
 
-def test_simd_ablation_tables(ablation, benchmark):
+def test_simd_ablation_tables(ablation, benchmark, bench_json):
     u = np.random.default_rng(0).standard_normal(512)
     benchmark(soft_threshold, u, 0.3)
 
@@ -59,6 +59,15 @@ def test_simd_ablation_tables(ablation, benchmark):
     assert ablation["speedup_at_1000_iters"] == pytest.approx(2.43, abs=0.15)
     assert ablation["max_iterations_scalar"] == pytest.approx(800, abs=8)
     assert ablation["max_iterations_neon"] == pytest.approx(2000, abs=20)
+    bench_json(
+        "ablation_simd",
+        timings={
+            "speedup_at_1000_iters": ablation["speedup_at_1000_iters"],
+            "max_iterations_scalar": ablation["max_iterations_scalar"],
+            "max_iterations_neon": ablation["max_iterations_neon"],
+        },
+        rows=ablation["iteration_kernels"],
+    )
 
 
 def test_branchy_prox_kernel(benchmark):

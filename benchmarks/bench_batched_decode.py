@@ -78,7 +78,7 @@ def test_encode_batch_bit_exact(decode_workload):
         assert p_serial.to_bytes() == p_batched.to_bytes()
 
 
-def test_batched_decode_speedup(decode_workload, benchmark):
+def test_batched_decode_speedup(decode_workload, benchmark, bench_json):
     """>= 3x wall-clock over the serial decode loop at the largest batch."""
     system = decode_workload["system"]
     packets = decode_workload["packets"]
@@ -126,6 +126,18 @@ def test_batched_decode_speedup(decode_workload, benchmark):
         )
 
     print("\n" + render_table(rows, title="batched decode engine vs serial"))
+    bench_json(
+        "batched_decode",
+        params={
+            "total_windows": TOTAL_WINDOWS,
+            "batch_sizes": list(BATCH_SIZES),
+        },
+        timings={
+            "serial_s": serial_seconds,
+            **{f"speedup_b{b}": s for b, s in speedups.items()},
+        },
+        rows=rows,
+    )
 
     largest = BATCH_SIZES[-1]
     assert speedups[largest] >= MIN_SPEEDUP, (

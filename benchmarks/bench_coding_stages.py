@@ -53,7 +53,7 @@ def stage_rows(bench_database, paper_point_windows):
     ]
 
 
-def test_coding_stage_ablation(stage_rows, benchmark, paper_point_windows):
+def test_coding_stage_ablation(stage_rows, benchmark, paper_point_windows, bench_json):
     config = SystemConfig()
     encoder = CSEncoder(config)
     encoder.reset()
@@ -79,6 +79,11 @@ def test_coding_stage_ablation(stage_rows, benchmark, paper_point_windows):
     benchmark.extra_info["no_diff_cr"] = round(raw, 2)
     # entropy coding the differences must add real compression
     assert full > raw + 10.0
+    bench_json(
+        "coding_stages",
+        params={"windows": 12},
+        rows=stage_rows,
+    )
 
 
 def test_codebook_training_kernel(benchmark):

@@ -27,7 +27,7 @@ def budget(bench_database):
     return run_encoder_budget(database=bench_database)
 
 
-def test_node_budget_table(budget, benchmark, paper_point_windows):
+def test_node_budget_table(budget, benchmark, paper_point_windows, bench_json):
     config = SystemConfig()
     encoder = CSEncoder(config)
 
@@ -58,6 +58,19 @@ def test_node_budget_table(budget, benchmark, paper_point_windows):
     assert 7000 < budget["flash_bytes"] < 8000
     reference = budget["lifetime"][-1]
     assert reference["extension_percent"] == pytest.approx(12.9, abs=0.1)
+    bench_json(
+        "encoder_node_budget",
+        timings={
+            "sensing_ms": budget["sensing_time_ms"],
+            "encode_ms": budget["encode_time_ms"],
+            "node_cpu_percent": budget["node_cpu_percent"],
+        },
+        params={
+            "ram_bytes": budget["ram_bytes"],
+            "flash_bytes": budget["flash_bytes"],
+        },
+        rows=budget["lifetime"],
+    )
 
 
 def test_huffman_stage_kernel(budget, benchmark, paper_point_windows):

@@ -34,7 +34,7 @@ def fig2_rows(bench_database):
     )
 
 
-def test_fig2_series(fig2_rows, benchmark, paper_point_windows):
+def test_fig2_series(fig2_rows, benchmark, paper_point_windows, bench_json):
     """Regenerate the Figure 2 series and time the sensing kernel."""
     config = SystemConfig()
     phi = SparseBinaryMatrix(config.m, config.n, d=config.d, seed=config.seed)
@@ -57,6 +57,15 @@ def test_fig2_series(fig2_rows, benchmark, paper_point_windows):
     assert gauss[0] > gauss[-1] + 3.0
     for row in fig2_rows:
         assert abs(row["snr_gap_db"]) < 5.0
+    bench_json(
+        "fig2_sparse_vs_gaussian",
+        params={
+            "nominal_crs": list(NOMINAL_CRS),
+            "records": list(BENCH_RECORDS),
+            "packets_per_record": BENCH_PACKETS,
+        },
+        rows=fig2_rows,
+    )
 
 
 def test_fig2_gaussian_measure_kernel(benchmark, paper_point_windows):

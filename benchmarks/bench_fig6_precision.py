@@ -29,7 +29,7 @@ def fig6_rows(bench_database):
     )
 
 
-def test_fig6_series(fig6_rows, benchmark, paper_point_windows):
+def test_fig6_series(fig6_rows, benchmark, paper_point_windows, bench_json):
     """Regenerate the Figure 6 series; time the float64 decode."""
     config = SystemConfig()
     encoder = CSEncoder(config)
@@ -57,6 +57,15 @@ def test_fig6_series(fig6_rows, benchmark, paper_point_windows):
     for row in fig6_rows:
         # "provides the same accuracy as the original 64-bit design"
         assert row["prd_gap_percent"] < 0.5
+    bench_json(
+        "fig6_precision",
+        params={
+            "nominal_crs": list(NOMINAL_CRS),
+            "records": list(BENCH_RECORDS),
+            "packets_per_record": BENCH_PACKETS,
+        },
+        rows=fig6_rows,
+    )
 
 
 def test_fig6_float32_decode_kernel(benchmark, paper_point_windows):

@@ -33,7 +33,9 @@ def fig7_rows(bench_database):
     )
 
 
-def test_fig7_series(fig7_rows, benchmark, paper_point_system, paper_point_windows):
+def test_fig7_series(
+    fig7_rows, benchmark, paper_point_system, paper_point_windows, bench_json
+):
     """Regenerate the Figure 7 series; time a fixed-budget FISTA solve."""
     system = paper_point_system
     system.encoder.reset()
@@ -71,6 +73,15 @@ def test_fig7_series(fig7_rows, benchmark, paper_point_system, paper_point_windo
     assert times[0] < 0.6
     # every point within the NEON real-time cap
     assert max(iterations) <= 2000
+    bench_json(
+        "fig7_iterations_time",
+        params={
+            "nominal_crs": list(NOMINAL_CRS),
+            "records": list(BENCH_RECORDS),
+            "packets_per_record": BENCH_PACKETS,
+        },
+        rows=fig7_rows,
+    )
 
 
 def test_fig7_iteration_kernel(benchmark, paper_point_system):

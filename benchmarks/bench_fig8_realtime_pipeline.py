@@ -26,7 +26,7 @@ def fig8_outcome(bench_database):
     )
 
 
-def test_fig8_pipeline(fig8_outcome, benchmark, bench_database):
+def test_fig8_pipeline(fig8_outcome, benchmark, bench_database, bench_json):
     report, summary = fig8_outcome
 
     def simulate():
@@ -63,6 +63,15 @@ def test_fig8_pipeline(fig8_outcome, benchmark, bench_database):
     assert summary["realtime"] is True
     assert report.underruns == 0 and report.overruns == 0
     assert report.buffer_max_s <= 6.0
+    bench_json(
+        "fig8_realtime_pipeline",
+        params={"nominal_cr": 50.0, "packets": 16, "duration_s": 240.0},
+        timings={
+            "node_cpu_percent": float(summary["node_cpu_percent"]),
+            "phone_cpu_percent": float(summary["phone_cpu_percent"]),
+            "mean_latency_s": report.mean_end_to_end_latency_s,
+        },
+    )
 
 
 def test_fig8_cpu_at_true_cr50(benchmark, bench_database):

@@ -89,7 +89,7 @@ def _run_all(workload):
     return rows
 
 
-def test_solver_comparison(workload, benchmark):
+def test_solver_comparison(workload, benchmark, bench_json):
     rows = _run_all(workload)
 
     def fista_solve():
@@ -112,6 +112,7 @@ def test_solver_comparison(workload, benchmark):
     # all l1 solvers land on comparable quality
     l1_prds = [by_name[n]["prd_percent"] for n in ("fista", "ista", "twist", "gpsr")]
     assert max(l1_prds) - min(l1_prds) < 6.0
+    bench_json("solver_comparison", rows=rows)
 
 
 def test_ista_kernel(workload, benchmark):

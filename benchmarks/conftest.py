@@ -8,9 +8,23 @@ timings are attached to the representative computational kernels.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Every bench module also writes a machine-readable ``BENCH_<name>.json``
+(via :func:`write_bench_json`) so the perf trajectory can be tracked
+across PRs by tooling instead of living only in stdout;
+``REPRO_BENCH_JSON_DIR`` overrides the output directory (default
+``benchmarks/results/``, gitignored — the files carry timestamps and
+per-machine timings, so CI/drivers collect them rather than git).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 import pytest
@@ -24,6 +38,66 @@ from repro.ecg.resample import resample_record
 #: tractable wall-clock)
 BENCH_RECORDS = ("100", "119", "201", "209")
 BENCH_PACKETS = 8
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and mappings into JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def write_bench_json(
+    name: str,
+    *,
+    params: dict[str, Any] | None = None,
+    timings: dict[str, Any] | None = None,
+    **extra: Any,
+) -> Path:
+    """Persist one benchmark's machine-readable outcome.
+
+    Writes ``BENCH_<name>.json`` with the workload parameters, wall
+    clock/speedup timings and any extra series the bench wants pinned,
+    plus enough environment context (smoke flag, python, machine) to
+    compare runs across PRs.  Returns the written path.
+    """
+    directory = Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON_DIR", Path(__file__).parent / "results"
+        )
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": name,
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "params": _to_jsonable(params or {}),
+        "timings": _to_jsonable(timings or {}),
+    }
+    for key, value in extra.items():
+        payload[key] = _to_jsonable(value)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """The :func:`write_bench_json` helper, as a fixture.
+
+    Bench modules take this instead of importing ``conftest`` (which is
+    not importable as a module under pytest's rootdir rules).
+    """
+    return write_bench_json
 
 
 @pytest.fixture(scope="session")

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification + batched-decode benchmark smoke.
+# Tier-1 verification + decode-engine benchmark smokes.
 #
-#   scripts/run_tier1.sh          # full test suite + smoke benchmark
-#   scripts/run_tier1.sh --fast   # skip the benchmark smoke
+#   scripts/run_tier1.sh          # full test suite + smoke benchmarks
+#   scripts/run_tier1.sh --fast   # skip the benchmark smokes
 #
-# The tier-1 command is the repo's ROADMAP-pinned gate; the smoke run
-# exercises the batched decode engine end-to-end (bit-exact packets,
-# equivalence asserts) with timing thresholds relaxed so it stays fast
-# on any machine.
+# The tier-1 command is the repo's ROADMAP-pinned gate; the smoke runs
+# exercise the batched decode engine and the fleet decode scheduler
+# end-to-end (bit-exact packets, equivalence asserts, a real 2-worker
+# pool) with timing thresholds relaxed so they stay fast on any
+# machine.  Each benchmark must also write its machine-readable
+# BENCH_<name>.json — a bench that silently stops reporting fails the
+# gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,7 +22,20 @@ python -m pytest -x -q
 
 if [[ "${1:-}" != "--fast" ]]; then
     echo "== batched decode benchmark (smoke mode) =="
+    rm -f benchmarks/results/BENCH_batched_decode.json
     REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_batched_decode.py -q
+
+    echo "== fleet decode benchmark (smoke mode) =="
+    rm -f benchmarks/results/BENCH_fleet_decode.json \
+        benchmarks/results/BENCH_fleet_decode_sharded.json
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_fleet_decode.py -q
+
+    for name in batched_decode fleet_decode fleet_decode_sharded; do
+        if [[ ! -s "benchmarks/results/BENCH_${name}.json" ]]; then
+            echo "ERROR: benchmarks wrote no benchmarks/results/BENCH_${name}.json" >&2
+            exit 1
+        fi
+    done
 fi
 
 echo "== tier-1 OK =="

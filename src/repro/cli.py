@@ -3,6 +3,7 @@
 Installed as ``repro-ecg``::
 
     repro-ecg quickstart --cr 50 --record 100
+    repro-ecg fleet --streams 8 --batch-size 32 --groups 4 --fleet-workers 4
     repro-ecg sweep --figure fig7 --records 3 --packets 6
     repro-ecg fig8
     repro-ecg budget
@@ -66,6 +67,45 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--packets", type=int, default=6)
     sweep.add_argument("--duration", type=float, default=40.0)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="decode many simulated node streams through the fleet scheduler",
+    )
+    fleet.add_argument(
+        "--streams",
+        type=int,
+        default=4,
+        help="number of concurrent node streams (one record each)",
+    )
+    fleet.add_argument("--packets", type=int, default=8)
+    fleet.add_argument("--cr", type=float, default=50.0)
+    fleet.add_argument("--duration", type=float, default=40.0)
+    fleet.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help=(
+            "distinct sensing seeds across the fleet (1 = the paper's "
+            "shared fixed matrix; sharding across workers needs >= 2 "
+            "operator groups)"
+        ),
+    )
+    fleet.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="target solve width, filled across streams per operator group",
+    )
+    fleet.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=None,
+        help=(
+            "shard operator groups across this many decode processes "
+            "(default: single-process pooled decode)"
+        ),
+    )
+
     fig8 = sub.add_parser("fig8", help="simulate the real-time pipeline")
     fig8.add_argument("--cr", type=float, default=50.0)
     fig8.add_argument("--packets", type=int, default=10)
@@ -103,6 +143,89 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
         "decode_ms": 1000.0 * stream.mean_decode_seconds,
     }
     print(render_table([row], title=f"quickstart @ nominal CR {args.cr:.0f} %"))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from .fleet import FleetDecoder, StreamTask
+
+    from .errors import ConfigurationError
+
+    if args.streams < 1:
+        print("--streams must be >= 1", file=sys.stderr)
+        return 2
+    if args.packets < 1:
+        print("--packets must be >= 1", file=sys.stderr)
+        return 2
+    if args.groups < 1:
+        print("--groups must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        decoder = FleetDecoder(
+            batch_size=args.batch_size, workers=args.fleet_workers
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    base = SystemConfig().with_target_cr(args.cr)
+    database = SyntheticMitBih(duration_s=args.duration)
+    names = [
+        list(RECORD_NAMES)[i % len(RECORD_NAMES)] for i in range(args.streams)
+    ]
+    # --groups 1: every node ships the paper's shared fixed matrix ->
+    # one operator group, the scheduler pools all streams into joint
+    # solves; --groups >= 2 spreads seeds so workers have groups to
+    # shard across
+    tasks = []
+    for index, name in enumerate(names):
+        record = database.load(name)
+        system = EcgMonitorSystem(
+            base.replace(seed=base.seed + index % args.groups)
+        )
+        system.calibrate(record)
+        tasks.append(
+            StreamTask(system=system, record=record, max_packets=args.packets)
+        )
+
+    started = time.perf_counter()
+    results = decoder.run(tasks)
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        {
+            "stream": index,
+            "record": name,
+            "packets": result.num_packets,
+            "measured_cr": result.compression_ratio_percent,
+            "prd_percent": result.mean_prd_percent,
+            "iterations": result.mean_iterations,
+            "decode_ms": 1000.0 * result.mean_decode_seconds,
+        }
+        for index, (name, result) in enumerate(zip(names, results))
+    ]
+    # report what actually ran: the engine owns the fallback decision
+    groups = decoder.last_num_groups
+    mode = (
+        f"{decoder.last_effective_workers} workers"
+        if decoder.last_effective_workers > 1
+        else "single process"
+    )
+    total_windows = sum(r.num_packets for r in results)
+    print(
+        render_table(
+            rows,
+            title=(
+                f"fleet decode: {args.streams} streams, {groups} operator "
+                f"group(s), batch {args.batch_size}, {mode}"
+            ),
+        )
+    )
+    print(
+        f"decoded {total_windows} windows in {elapsed:.3f} s "
+        f"({total_windows / elapsed:.1f} windows/s)"
+    )
     return 0
 
 
@@ -195,6 +318,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "quickstart": _cmd_quickstart,
+        "fleet": _cmd_fleet,
         "sweep": _cmd_sweep,
         "fig8": _cmd_fig8,
         "budget": _cmd_budget,

@@ -13,20 +13,31 @@
 - :mod:`repro.core.batch` — the batched decode engine: whole-record
   windowing, vectorized sensing/differencing and multi-window
   batched-FISTA reconstruction behind ``stream(batch_size=...)``.
+
+Cross-stream pooling of many records/leads lives one level up in
+:mod:`repro.fleet`, built on :class:`PacketPayloadDecoder` (the
+operator-free stages 1-2) and :func:`encode_record_windows`.
 """
 
 from .quantizer import MeasurementQuantizer
 from .packets import EncodedPacket, PacketKind, crc16_ccitt
 from .encoder import CSEncoder, EncoderStats
-from .decoder import CSDecoder, DecodedPacket
+from .decoder import CSDecoder, DecodedPacket, PacketPayloadDecoder
 from .system import EcgMonitorSystem, StreamResult, PacketResult
 from .multichannel import MultiChannelMonitor, MultiChannelResult
-from .batch import DEFAULT_BATCH_SIZE, stream_batched, window_record
+from .batch import (
+    DEFAULT_BATCH_SIZE,
+    encode_record_windows,
+    stream_batched,
+    window_record,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "encode_record_windows",
     "stream_batched",
     "window_record",
+    "PacketPayloadDecoder",
     "MeasurementQuantizer",
     "EncodedPacket",
     "PacketKind",

@@ -50,6 +50,38 @@ def window_record(samples: np.ndarray, n: int, max_windows: int | None = None) -
     return samples[: count * n].reshape(count, n)
 
 
+def encode_record_windows(
+    system: "EcgMonitorSystem",
+    record: Record,
+    channel: int = 0,
+    max_packets: int | None = None,
+) -> tuple[np.ndarray, list]:
+    """Window and batch-encode one record channel; reset stream state.
+
+    Shared front end of :func:`stream_batched` and the fleet engine
+    (:mod:`repro.fleet`): returns the ``(B, n)`` window block and the
+    matching encoded packets, with both encoder and decoder codec state
+    reset so decoding starts from the first keyframe.
+    """
+    if max_packets is not None and max_packets < 1:
+        raise ValueError(
+            f"max_packets={max_packets} requests no windows; "
+            "need at least 1 packet to stream"
+        )
+    samples = system._prepare_samples(record, channel)
+    n = system.config.n
+    windows = window_record(samples, n, max_packets)
+    if windows.shape[0] == 0:
+        raise ValueError(
+            f"record too short: {len(samples)} samples < one window of {n}"
+        )
+
+    system.encoder.reset()
+    system.decoder.reset()
+    packets = system.encoder.encode_batch(windows)
+    return windows, packets
+
+
 def stream_batched(
     system: "EcgMonitorSystem",
     record: Record,
@@ -71,19 +103,10 @@ def stream_batched(
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
 
-    samples = system._prepare_samples(record, channel)
-    n = system.config.n
-    windows = window_record(samples, n, max_packets)
-    if windows.shape[0] == 0:
-        raise ValueError(
-            f"record too short: {len(samples)} samples < one window of {n}"
-        )
-
-    system.encoder.reset()
-    system.decoder.reset()
+    windows, packets = encode_record_windows(
+        system, record, channel=channel, max_packets=max_packets
+    )
     offset = system.encoder.dc_offset
-
-    packets = system.encoder.encode_batch(windows)
 
     result = StreamResult(
         record=record.name, channel=channel, config=system.config

@@ -9,9 +9,12 @@ Three stages mirroring the encoder:
    domain and synthesizing the time-domain ECG.
 
 The decoder supports float64 (the paper's Matlab reference) and float32
-(the iPhone build); Figure 6 overlays the two.  The system operator's
-Lipschitz constant is computed once at construction (the sensing matrix
-is fixed), exactly as an embedded decoder would precompute it offline.
+(the iPhone build); Figure 6 overlays the two.  The dense system
+operator and its Lipschitz constant are computed once on first use and
+cached for the decoder's lifetime (the sensing matrix is fixed),
+exactly as an embedded decoder would precompute them offline — lazily,
+so a fleet of per-stream decoders sharing one operator group does not
+pay the precompute per stream.
 """
 
 from __future__ import annotations
@@ -36,6 +39,67 @@ from ..solvers.lipschitz import lipschitz_constant
 from ..wavelet import WaveletTransform
 from .packets import EncodedPacket, PacketKind, unpack_keyframe_values
 from .quantizer import MeasurementQuantizer
+
+
+class PacketPayloadDecoder:
+    """Stages 1-2 of the decoder: entropy decode + redundancy re-insert.
+
+    Everything *before* the FISTA solve — Huffman decoding, closed-loop
+    difference reconstruction and dequantization — is per-stream state
+    (codebook, reference vector) that never touches the dense system
+    operator.  Splitting it out lets a fleet worker keep one of these
+    per stream while sharing a single operator/Lipschitz precomputation
+    per sensing-operator group (see :mod:`repro.fleet`), and lets the
+    worker be constructed without materializing ``A = Phi Psi`` at all.
+    """
+
+    def __init__(
+        self, config: SystemConfig, codebook: Codebook | None = None
+    ) -> None:
+        self.config = config
+        self.codebook = codebook if codebook is not None else train_codebook()
+        self.codec = DifferentialCodec(
+            keyframe_interval=config.keyframe_interval
+        )
+        self.quantizer = MeasurementQuantizer(d=config.d)
+
+    def reset(self) -> None:
+        """Drop the inter-packet reference state."""
+        self.codec.reset()
+
+    def decode_payload(self, packet: EncodedPacket) -> np.ndarray:
+        """Decode one packet down to its quantized measurement vector."""
+        if packet.m != self.config.m:
+            raise DecodingError(
+                f"packet m={packet.m} does not match decoder m={self.config.m}"
+            )
+        if packet.kind is PacketKind.KEYFRAME:
+            values = unpack_keyframe_values(packet.payload, self.config.m)
+            return self.codec.decode(True, values)
+        reader = BitReader(packet.payload, bit_length=packet.payload_bits)
+        symbols = self.codebook.code.decode(reader, self.config.m)
+        if reader.remaining >= 8:
+            raise DecodingError(
+                f"{reader.remaining} unread payload bits after decoding"
+            )
+        diffs = np.asarray(
+            [self.codebook.value_for(s) for s in symbols], dtype=np.int64
+        )
+        return self.codec.decode(False, diffs)
+
+    def measurement_block(
+        self, packets: Sequence[EncodedPacket], dtype: np.dtype | type
+    ) -> np.ndarray:
+        """Stack the dequantized measurements of many packets, ``(m, B)``.
+
+        Sequential by necessity — the difference codec is stateful — but
+        cheap relative to the reconstruction solve it feeds.
+        """
+        block = np.empty((self.config.m, len(packets)), dtype=dtype)
+        for column, packet in enumerate(packets):
+            y_q = self.decode_payload(packet)
+            block[:, column] = self.quantizer.dequantize(y_q).astype(dtype)
+        return block
 
 
 @dataclass(frozen=True)
@@ -86,19 +150,21 @@ class CSDecoder:
         self.config = config
         self.precision = precision
         self.warm_start = warm_start
-        self.codebook = codebook if codebook is not None else train_codebook()
-        self.codec = DifferentialCodec(keyframe_interval=config.keyframe_interval)
-        self.quantizer = MeasurementQuantizer(d=config.d)
+        self.payload = PacketPayloadDecoder(config, codebook=codebook)
 
-        matrix = SparseBinaryMatrix(config.m, config.n, d=config.d, seed=config.seed)
+        self._matrix = SparseBinaryMatrix(
+            config.m, config.n, d=config.d, seed=config.seed
+        )
         self.transform = WaveletTransform(config.n, config.wavelet, config.levels)
-        # Dense materialization of A = Phi Psi: at N = 512 this is the
-        # fastest representation for the numerical sweeps; the embedded
-        # cost models account for the matrix-free structure instead.
-        dtype = np.float32 if precision == "float32" else np.float64
-        a_dense = (matrix.sparse() @ self.transform.synthesis_matrix()).astype(dtype)
-        self._system = a_dense
-        self._lipschitz = lipschitz_constant(a_dense.astype(np.float64))
+        # Dense materialization of A = Phi Psi (at N = 512 the fastest
+        # representation for the numerical sweeps; the embedded cost
+        # models account for the matrix-free structure instead) is
+        # *lazy*: it and its Lipschitz estimate are built on first use.
+        # A fleet run constructs one decoder per stream but iterates
+        # only one operator per group — eager per-decoder builds would
+        # pay the group's precompute once per stream.
+        self._system_cache: np.ndarray | None = None
+        self._lipschitz_cache: float | None = None
         self.dc_offset = 1 << (config.adc_bits - 1)
         self._previous_alpha: np.ndarray | None = None
         self._batched_solver: BatchedFista | None = None
@@ -106,39 +172,61 @@ class CSDecoder:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Drop stream state (reference vector and warm-start memory)."""
-        self.codec.reset()
+        self.payload.reset()
         self._previous_alpha = None
+
+    # stages 1-2 live on the payload decoder; these aliases keep the
+    # historical attribute surface (tests and ablations poke them)
+    @property
+    def codebook(self) -> Codebook:
+        """Shared entropy codebook (must match the encoder's)."""
+        return self.payload.codebook
+
+    @codebook.setter
+    def codebook(self, value: Codebook) -> None:
+        self.payload.codebook = value
+
+    @property
+    def codec(self) -> DifferentialCodec:
+        """Stateful inter-packet difference decoder."""
+        return self.payload.codec
+
+    @codec.setter
+    def codec(self, value: DifferentialCodec) -> None:
+        self.payload.codec = value
+
+    @property
+    def quantizer(self) -> MeasurementQuantizer:
+        """Measurement dequantizer (folds the deferred 1/sqrt(d))."""
+        return self.payload.quantizer
+
+    @quantizer.setter
+    def quantizer(self, value: MeasurementQuantizer) -> None:
+        self.payload.quantizer = value
 
     @property
     def system_matrix(self) -> np.ndarray:
         """The dense system operator ``A = Phi Psi`` (decoder precision)."""
-        return self._system
+        if self._system_cache is None:
+            dtype = np.float32 if self.precision == "float32" else np.float64
+            self._system_cache = (
+                self._matrix.sparse() @ self.transform.synthesis_matrix()
+            ).astype(dtype)
+        return self._system_cache
 
     @property
     def lipschitz(self) -> float:
         """Precomputed Lipschitz constant of the data-fidelity gradient."""
-        return self._lipschitz
+        if self._lipschitz_cache is None:
+            self._lipschitz_cache = lipschitz_constant(
+                self.system_matrix.astype(np.float64)
+            )
+        return self._lipschitz_cache
 
     # ------------------------------------------------------------------
     def _decode_payload(self, packet: EncodedPacket) -> np.ndarray:
         """Stages 1-2: entropy decoding and redundancy re-insertion."""
-        if packet.m != self.config.m:
-            raise DecodingError(
-                f"packet m={packet.m} does not match decoder m={self.config.m}"
-            )
-        if packet.kind is PacketKind.KEYFRAME:
-            values = unpack_keyframe_values(packet.payload, self.config.m)
-            return self.codec.decode(True, values)
-        reader = BitReader(packet.payload, bit_length=packet.payload_bits)
-        symbols = self.codebook.code.decode(reader, self.config.m)
-        if reader.remaining >= 8:
-            raise DecodingError(
-                f"{reader.remaining} unread payload bits after decoding"
-            )
-        diffs = np.asarray(
-            [self.codebook.value_for(s) for s in symbols], dtype=np.int64
-        )
-        return self.codec.decode(False, diffs)
+        return self.payload.decode_payload(packet)
 
     def decode(self, packet: EncodedPacket) -> DecodedPacket:
         """Full decode of one packet into reconstructed adu samples."""
@@ -148,15 +236,15 @@ class CSDecoder:
         dtype = np.float32 if self.precision == "float32" else np.float64
         y = y.astype(dtype)
 
-        lam = lambda_from_fraction(self._system, y, self.config.lam)
+        lam = lambda_from_fraction(self.system_matrix, y, self.config.lam)
         x0 = self._previous_alpha if self.warm_start else None
         result = fista(
-            self._system,
+            self.system_matrix,
             y,
             lam=lam,
             max_iterations=self.config.max_iterations,
             tolerance=self.config.tolerance,
-            lipschitz=self._lipschitz,
+            lipschitz=self.lipschitz,
             x0=x0,
         )
         if self.warm_start:
@@ -198,14 +286,11 @@ class CSDecoder:
             return []
         started = time.perf_counter()
         dtype = np.float32 if self.precision == "float32" else np.float64
-        measurements = np.empty((self.config.m, len(packets)), dtype=dtype)
-        for column, packet in enumerate(packets):
-            y_q = self._decode_payload(packet)
-            measurements[:, column] = self.quantizer.dequantize(y_q).astype(dtype)
+        measurements = self.payload.measurement_block(packets, dtype)
 
         if self._batched_solver is None:
             self._batched_solver = BatchedFista(
-                self._system, lipschitz=self._lipschitz
+                self.system_matrix, lipschitz=self.lipschitz
             )
         solver = self._batched_solver
         lams = solver.lambdas(measurements, self.config.lam)

@@ -60,11 +60,19 @@ class MultiChannelResult:
         return total / self.num_channels
 
     def bits_per_second(self) -> float:
-        """Sustained radio rate for the combined stream."""
-        seconds = sum(
-            result.config.packet_seconds * result.num_packets
-            for result in self.per_channel
-        ) / self.num_channels
+        """Sustained radio rate for the combined stream.
+
+        The stream is over when the *longest* lead finishes, so the
+        denominator is the max per-lead duration — dividing by the mean
+        overstates the rate whenever leads carry unequal packet counts.
+        """
+        seconds = max(
+            (
+                result.config.packet_seconds * result.num_packets
+                for result in self.per_channel
+            ),
+            default=0.0,
+        )
         if seconds == 0:
             return 0.0
         return self.total_bits / seconds
@@ -110,19 +118,48 @@ class MultiChannelMonitor:
         max_packets: int | None = None,
         keep_signals: bool = False,
         batch_size: int | None = None,
+        fleet_workers: int | None = None,
     ) -> MultiChannelResult:
         """Stream every available lead of a record.
 
-        ``batch_size`` selects the batched decode engine per lead (see
-        :meth:`EcgMonitorSystem.stream`); a multi-lead record is the
-        natural batched workload — every lead contributes a full block
-        of windows to reconstruct.
+        ``batch_size`` selects the batched decode engine; a multi-lead
+        record is the natural batched workload — every lead contributes
+        a full block of windows to reconstruct.  Batched decoding pools
+        all leads through the fleet scheduler (:mod:`repro.fleet`):
+        leads sharing a sensing operator batch *across* leads, and
+        ``fleet_workers >= 2`` shards the operator groups over a
+        multiprocessing pool.  ``fleet_workers`` only applies to the
+        fleet path, so it requires ``batch_size > 1``.
         """
         if record.num_channels < self.num_channels:
             raise ConfigurationError(
                 f"record has {record.num_channels} channels, "
                 f"monitor expects {self.num_channels}"
             )
+        if fleet_workers is not None and (
+            batch_size is None or batch_size <= 1
+        ):
+            raise ConfigurationError(
+                "fleet_workers requires batch_size > 1 (the serial "
+                "per-lead path does not shard)"
+            )
+        if batch_size is not None and batch_size > 1:
+            from ..fleet import FleetDecoder, StreamTask
+
+            tasks = [
+                StreamTask(
+                    system=system,
+                    record=record,
+                    channel=channel,
+                    max_packets=max_packets,
+                    keep_signals=keep_signals,
+                )
+                for channel, system in enumerate(self.systems)
+            ]
+            decoder = FleetDecoder(
+                batch_size=batch_size, workers=fleet_workers
+            )
+            return MultiChannelResult(per_channel=decoder.run(tasks))
         result = MultiChannelResult()
         for channel, system in enumerate(self.systems):
             result.per_channel.append(

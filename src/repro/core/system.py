@@ -37,6 +37,35 @@ class PacketResult:
     decode_seconds: float
 
 
+def window_metrics(
+    window_adu: np.ndarray,
+    packet: EncodedPacket,
+    samples_adu: np.ndarray,
+    iterations: int,
+    decode_seconds: float,
+    dc_offset: int,
+) -> PacketResult:
+    """Per-window metrics from raw reconstruction arrays.
+
+    The lowest-level assembly step: the serial and batched streams feed
+    it via :func:`packet_result`; the fleet engine calls it directly
+    because a sharded worker ships back plain arrays, not
+    :class:`~repro.core.decoder.DecodedPacket` objects.
+    """
+    centered_original = window_adu.astype(np.float64) - dc_offset
+    centered_reconstruction = samples_adu - dc_offset
+    packet_prd = prd(centered_original, centered_reconstruction)
+    return PacketResult(
+        sequence=packet.sequence,
+        is_keyframe=packet.kind is PacketKind.KEYFRAME,
+        packet_bits=packet.total_bits,
+        prd_percent=packet_prd,
+        snr_db=snr_from_prd(packet_prd),
+        iterations=iterations,
+        decode_seconds=decode_seconds,
+    )
+
+
 def packet_result(
     window_adu: np.ndarray,
     packet: EncodedPacket,
@@ -44,17 +73,13 @@ def packet_result(
     dc_offset: int,
 ) -> PacketResult:
     """Per-window metrics shared by the serial and batched streams."""
-    centered_original = window_adu.astype(np.float64) - dc_offset
-    centered_reconstruction = decoded.samples_adu - dc_offset
-    packet_prd = prd(centered_original, centered_reconstruction)
-    return PacketResult(
-        sequence=decoded.sequence,
-        is_keyframe=packet.kind is PacketKind.KEYFRAME,
-        packet_bits=packet.total_bits,
-        prd_percent=packet_prd,
-        snr_db=snr_from_prd(packet_prd),
-        iterations=decoded.iterations,
-        decode_seconds=decoded.decode_seconds,
+    return window_metrics(
+        window_adu,
+        packet,
+        decoded.samples_adu,
+        decoded.iterations,
+        decoded.decode_seconds,
+        dc_offset,
     )
 
 
@@ -180,6 +205,11 @@ class EcgMonitorSystem:
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_packets is not None and max_packets < 1:
+            raise ValueError(
+                f"max_packets={max_packets} requests no windows; "
+                "need at least 1 packet to stream"
+            )
         if batch_size is not None and batch_size > 1:
             from .batch import stream_batched
 

@@ -1,0 +1,445 @@
+"""The fleet decode engine: pooled solves, optional process sharding.
+
+:class:`FleetDecoder` drives many record streams through the shared
+pipeline:
+
+- **encode phase** (always in the parent): every task's record is
+  windowed and batch-encoded by its own
+  :class:`~repro.core.system.EcgMonitorSystem` — integer-exact, so the
+  packets are bit-identical to the serial reference by construction;
+- **schedule phase**: streams are grouped by
+  :func:`~repro.fleet.scheduler.solve_key` and each group's windows are
+  pooled into cross-stream batches;
+- **decode phase**: per group, stages 1-2 run per stream (stateful,
+  cheap), then the pooled measurement columns go through one
+  :class:`~repro.solvers.batched.BatchedFista` per group — in-process,
+  or sharded across a ``multiprocessing`` pool when ``workers > 1``;
+- **route phase** (parent): decoded windows scatter back to their
+  originating :class:`~repro.core.system.StreamResult` in order.
+
+Workers never receive a matrix: a group task carries each stream's
+scalar :class:`~repro.config.SystemConfig` fields, its (small) Huffman
+codebook and its packets as wire bytes; the worker rebuilds
+``A = Phi Psi^-1`` from the seed once per operator group and caches it
+for the life of the process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..core.batch import DEFAULT_BATCH_SIZE, encode_record_windows
+from ..core.decoder import PacketPayloadDecoder
+from ..core.packets import EncodedPacket
+from ..core.system import StreamResult, window_metrics
+from ..errors import ConfigurationError
+from ..solvers import BatchedFista
+from .scheduler import GroupSchedule, build_schedules, solve_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SystemConfig
+    from ..core.system import EcgMonitorSystem
+    from ..ecg.records import Record
+    from ..wavelet import WaveletTransform
+
+
+@dataclass
+class StreamTask:
+    """One record channel to decode as part of a fleet run."""
+
+    system: "EcgMonitorSystem"
+    record: "Record"
+    channel: int = 0
+    max_packets: int | None = None
+    keep_signals: bool = False
+
+
+@dataclass
+class _EncodedStream:
+    """Parent-side state of one stream after the encode phase."""
+
+    task: StreamTask
+    windows: np.ndarray
+    packets: list[EncodedPacket]
+    config: "SystemConfig"
+    precision: str
+    dc_offset: int
+
+
+@dataclass
+class _StreamDecode:
+    """Decode-phase output for one stream (plain arrays only, so the
+    sharded path can ship it across a process boundary)."""
+
+    samples_adu: np.ndarray  # (B, n) float64, dc offset applied
+    iterations: np.ndarray  # (B,) int64
+    decode_seconds: np.ndarray  # (B,) float64
+
+
+def _decode_group(
+    solver: BatchedFista,
+    transform: "WaveletTransform",
+    schedule: GroupSchedule,
+    payload_decoders: Sequence[PacketPayloadDecoder],
+    packet_lists: Sequence[Sequence[EncodedPacket]],
+    lam_fractions: Sequence[float],
+    dc_offsets: Sequence[int],
+    max_iterations: int,
+    tolerance: float,
+    dtype: type,
+) -> list[_StreamDecode]:
+    """Decode one operator group's pooled windows.
+
+    Shared by the in-process path and the sharded workers; inputs are
+    ordered like ``schedule.stream_ids`` (local group order).
+    """
+    n = transform.n
+    payload_share: list[float] = []
+    blocks: list[np.ndarray] = []
+    for decoder, packets in zip(payload_decoders, packet_lists):
+        started = time.perf_counter()
+        decoder.reset()
+        blocks.append(decoder.measurement_block(list(packets), dtype))
+        payload_share.append(
+            (time.perf_counter() - started) / max(len(packets), 1)
+        )
+    pooled = np.concatenate(blocks, axis=1)
+    fractions = np.repeat(
+        np.asarray(lam_fractions, dtype=np.float64), schedule.counts
+    )
+
+    outputs = [
+        _StreamDecode(
+            samples_adu=np.empty((count, n), dtype=np.float64),
+            iterations=np.zeros(count, dtype=np.int64),
+            decode_seconds=np.full(count, share, dtype=np.float64),
+        )
+        for count, share in zip(schedule.counts, payload_share)
+    ]
+
+    for start, stop in schedule.batches():
+        batch_started = time.perf_counter()
+        block = pooled[:, start:stop]
+        lams = solver.lambdas(block, fractions[start:stop])
+        result = solver.solve(
+            block,
+            lams,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+        signals = transform.inverse_batch(result.coefficients)
+        batch_share = (time.perf_counter() - batch_started) / (stop - start)
+
+        stream_of = schedule.stream_of[start:stop]
+        index_of = schedule.index_of[start:stop]
+        for local in np.unique(stream_of):
+            mask = stream_of == local
+            rows = index_of[mask]
+            out = outputs[local]
+            out.samples_adu[rows] = (
+                np.asarray(signals[:, mask], dtype=np.float64).T
+                + dc_offsets[local]
+            )
+            out.iterations[rows] = result.iterations[mask]
+            out.decode_seconds[rows] += batch_share
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Sharded execution: operator groups across a multiprocessing pool.
+# ----------------------------------------------------------------------
+
+#: per-worker cache of rebuilt operator resources, keyed by operator
+#: identity — a worker serving many groups (or repeated runs under a
+#: long-lived pool) pays the dense build + Lipschitz estimate once
+_WORKER_RESOURCES: dict[tuple, tuple[BatchedFista, Any]] = {}
+
+
+def _group_resources(
+    config: "SystemConfig", precision: str
+) -> tuple[BatchedFista, "WaveletTransform"]:
+    """Build (or fetch) one operator group's solver + synthesis pair."""
+    from ..sensing import SparseBinaryMatrix
+    from ..wavelet import WaveletTransform
+    from .scheduler import operator_key
+
+    key = operator_key(config, precision)
+    cached = _WORKER_RESOURCES.get(key)
+    if cached is not None:
+        return cached
+    matrix = SparseBinaryMatrix(
+        config.m, config.n, d=config.d, seed=config.seed
+    )
+    transform = WaveletTransform(config.n, config.wavelet, config.levels)
+    dtype = np.float32 if precision == "float32" else np.float64
+    dense = (matrix.sparse() @ transform.synthesis_matrix()).astype(dtype)
+    resources = (BatchedFista(dense), transform)
+    _WORKER_RESOURCES[key] = resources
+    return resources
+
+
+def _worker_decode_group(group_task: dict) -> list[dict]:
+    """Pool worker: decode one operator group from pickled primitives.
+
+    The task dict carries, per stream: the scalar config fields, the
+    Huffman codebook, the lambda fraction, the dc offset and the
+    packets as wire bytes.  No arrays or operators cross the boundary
+    in either direction except the decoded results.
+    """
+    from ..config import SystemConfig
+
+    precision = group_task["precision"]
+    dtype = np.float32 if precision == "float32" else np.float64
+    streams = group_task["streams"]
+    configs = [SystemConfig(**s["config"]) for s in streams]
+    solver, transform = _group_resources(configs[0], precision)
+
+    payload_decoders = [
+        PacketPayloadDecoder(config, codebook=s["codebook"])
+        for config, s in zip(configs, streams)
+    ]
+    packet_lists = [
+        [EncodedPacket.from_bytes(wire) for wire in s["packets"]]
+        for s in streams
+    ]
+    schedule = GroupSchedule.build(
+        group_task["stream_ids"],
+        [len(packets) for packets in packet_lists],
+        group_task["batch_size"],
+    )
+    outputs = _decode_group(
+        solver,
+        transform,
+        schedule,
+        payload_decoders,
+        packet_lists,
+        [s["lam"] for s in streams],
+        [s["dc_offset"] for s in streams],
+        group_task["max_iterations"],
+        group_task["tolerance"],
+        dtype,
+    )
+    return [
+        {
+            "samples_adu": out.samples_adu,
+            "iterations": out.iterations,
+            "decode_seconds": out.decode_seconds,
+        }
+        for out in outputs
+    ]
+
+
+class FleetDecoder:
+    """Pooled decode of many streams with operator-keyed batching.
+
+    Parameters
+    ----------
+    batch_size:
+        Target solve width; batches are filled *across* a group's
+        streams, so ragged per-stream tails merge.
+    workers:
+        ``None``, ``0`` or ``1`` decodes in-process (the fallback);
+        ``>= 2`` shards operator groups across a ``multiprocessing``
+        pool of that many workers.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        workers: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if workers is not None and workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {workers}"
+            )
+        self.batch_size = batch_size
+        self.workers = workers
+        #: groups scheduled and worker processes actually used by the
+        #: most recent :meth:`run` (1 = in-process) — the engine owns
+        #: the fallback decision, so callers report from here instead
+        #: of re-deriving it
+        self.last_num_groups = 0
+        self.last_effective_workers = 1
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[StreamTask]) -> list[StreamResult]:
+        """Decode every task; results match the task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        encoded = [self._encode(task) for task in tasks]
+        keys = [
+            solve_key(stream.config, stream.precision) for stream in encoded
+        ]
+        schedules = build_schedules(
+            keys, [len(stream.packets) for stream in encoded], self.batch_size
+        )
+        self.last_num_groups = len(schedules)
+        self.last_effective_workers = min(
+            self.workers or 1, len(schedules)
+        )
+        if self.last_effective_workers > 1:
+            decodes = self._run_sharded(encoded, schedules)
+        else:
+            decodes = self._run_inprocess(encoded, schedules)
+        return [
+            self._assemble(stream, decode)
+            for stream, decode in zip(encoded, decodes)
+        ]
+
+    # ------------------------------------------------------------------
+    def _encode(self, task: StreamTask) -> _EncodedStream:
+        if task.system.decoder.warm_start:
+            raise ConfigurationError(
+                "fleet decode does not support warm_start decoders: "
+                "pooled batches span streams, so the per-stream "
+                "previous-solution chain cannot be reproduced; disable "
+                "warm_start or use stream(batch_size=...) per stream"
+            )
+        windows, packets = encode_record_windows(
+            task.system,
+            task.record,
+            channel=task.channel,
+            max_packets=task.max_packets,
+        )
+        return _EncodedStream(
+            task=task,
+            windows=windows,
+            packets=packets,
+            config=task.system.config,
+            precision=task.system.decoder.precision,
+            dc_offset=task.system.encoder.dc_offset,
+        )
+
+    def _run_inprocess(
+        self,
+        encoded: list[_EncodedStream],
+        schedules: list[GroupSchedule],
+    ) -> list[_StreamDecode]:
+        """Single-process pooled decode, reusing each lead decoder's
+        already-materialized operator and Lipschitz constant."""
+        decodes: list[_StreamDecode | None] = [None] * len(encoded)
+        for schedule in schedules:
+            members = [encoded[s] for s in schedule.stream_ids]
+            lead = members[0].task.system.decoder
+            if lead._batched_solver is None:
+                lead._batched_solver = BatchedFista(
+                    lead.system_matrix, lipschitz=lead.lipschitz
+                )
+            dtype = (
+                np.float32 if members[0].precision == "float32" else np.float64
+            )
+            outputs = _decode_group(
+                lead._batched_solver,
+                lead.transform,
+                schedule,
+                [m.task.system.decoder.payload for m in members],
+                [m.packets for m in members],
+                [m.config.lam for m in members],
+                [m.dc_offset for m in members],
+                members[0].config.max_iterations,
+                members[0].config.tolerance,
+                dtype,
+            )
+            for stream_id, out in zip(schedule.stream_ids, outputs):
+                decodes[stream_id] = out
+        assert all(decode is not None for decode in decodes)
+        return decodes  # type: ignore[return-value]
+
+    def _run_sharded(
+        self,
+        encoded: list[_EncodedStream],
+        schedules: list[GroupSchedule],
+    ) -> list[_StreamDecode]:
+        """Partition operator groups across a multiprocessing pool.
+
+        Only reached with >= 2 shardable groups — :meth:`run` falls
+        back to the in-process path otherwise, before any packet is
+        serialized.
+        """
+        import multiprocessing
+
+        workers = min(self.workers or 1, len(schedules))
+        group_tasks = []
+        for schedule in schedules:
+            members = [encoded[s] for s in schedule.stream_ids]
+            group_tasks.append(
+                {
+                    "stream_ids": schedule.stream_ids,
+                    "batch_size": self.batch_size,
+                    "precision": members[0].precision,
+                    "max_iterations": members[0].config.max_iterations,
+                    "tolerance": members[0].config.tolerance,
+                    "streams": [
+                        {
+                            "config": dataclasses.asdict(m.config),
+                            "codebook": m.task.system.decoder.codebook,
+                            "lam": m.config.lam,
+                            "dc_offset": m.dc_offset,
+                            "packets": [p.to_bytes() for p in m.packets],
+                        }
+                        for m in members
+                    ],
+                }
+            )
+
+        with multiprocessing.Pool(processes=workers) as pool:
+            group_outputs = pool.map(
+                _worker_decode_group, group_tasks, chunksize=1
+            )
+
+        decodes: list[_StreamDecode | None] = [None] * len(encoded)
+        for schedule, outputs in zip(schedules, group_outputs):
+            for stream_id, out in zip(schedule.stream_ids, outputs):
+                decodes[stream_id] = _StreamDecode(
+                    samples_adu=out["samples_adu"],
+                    iterations=out["iterations"],
+                    decode_seconds=out["decode_seconds"],
+                )
+        assert all(decode is not None for decode in decodes)
+        return decodes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self, stream: _EncodedStream, decode: _StreamDecode
+    ) -> StreamResult:
+        task = stream.task
+        result = StreamResult(
+            record=task.record.name,
+            channel=task.channel,
+            config=stream.config,
+        )
+        for index, packet in enumerate(stream.packets):
+            result.packets.append(
+                window_metrics(
+                    stream.windows[index],
+                    packet,
+                    decode.samples_adu[index],
+                    int(decode.iterations[index]),
+                    float(decode.decode_seconds[index]),
+                    stream.dc_offset,
+                )
+            )
+        if task.keep_signals:
+            result.original_adu = stream.windows.astype(np.float64).reshape(-1)
+            result.reconstructed_adu = decode.samples_adu.reshape(-1)
+        return result
+
+
+def decode_fleet(
+    tasks: Sequence[StreamTask],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    workers: int | None = None,
+) -> list[StreamResult]:
+    """Convenience wrapper: one-shot fleet decode of many streams."""
+    return FleetDecoder(batch_size=batch_size, workers=workers).run(tasks)

@@ -32,6 +32,7 @@ from .fista import fista, lambda_from_fraction
 from .batched import (
     BatchedFista,
     BatchedSolverResult,
+    BatchWorkspace,
     batched_fista,
     batched_lambda_from_fraction,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "debias",
     "BatchedFista",
     "BatchedSolverResult",
+    "BatchWorkspace",
     "batched_fista",
     "batched_lambda_from_fraction",
     "SolverResult",

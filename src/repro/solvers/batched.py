@@ -67,21 +67,64 @@ def check_measurement_matrix(
 
 
 def batched_lambda_from_fraction(
-    a: LinearOperator | np.ndarray, ys: np.ndarray, fraction: float
+    a: LinearOperator | np.ndarray,
+    ys: np.ndarray,
+    fraction: float | np.ndarray,
 ) -> np.ndarray:
-    """Per-column regularization weights ``fraction * ||A^T y_b||_inf``.
+    """Per-column regularization weights ``fraction_b * ||A^T y_b||_inf``.
 
     The batched twin of
     :func:`~repro.solvers.fista.lambda_from_fraction`: one GEMM computes
     every column's correlation at once.  All-zero columns get the bare
-    fraction, matching the serial rule.
+    fraction, matching the serial rule.  ``fraction`` may be a scalar
+    shared by every column or a ``(B,)`` vector — a cross-stream batch
+    (see :mod:`repro.fleet`) can mix streams configured with different
+    ``lam`` fractions in one solve.
     """
-    if fraction <= 0:
-        raise SolverError(f"fraction must be positive, got {fraction}")
+    fraction = np.asarray(fraction, dtype=np.float64)
+    if np.any(fraction <= 0):
+        raise SolverError(f"fraction must be positive, got {fraction.min()}")
     dense = _as_dense(a)
     ys = check_measurement_matrix(dense, ys)
+    if fraction.ndim not in (0, 1) or (
+        fraction.ndim == 1 and fraction.shape[0] != ys.shape[1]
+    ):
+        raise SolverError(
+            f"fraction shape {fraction.shape} does not match batch {ys.shape[1]}"
+        )
     correlation = np.max(np.abs(dense.T @ ys), axis=0)
     return np.where(correlation == 0, fraction, fraction * correlation)
+
+
+class BatchWorkspace:
+    """Reusable iteration buffers for same-shape batched solves.
+
+    A fleet scheduler feeds a :class:`BatchedFista` a long sequence of
+    equally wide measurement blocks; reallocating the four per-iteration
+    scratch arrays for every block is measurable overhead at small
+    operator sizes.  The workspace hands out the same buffers while the
+    ``(m, n, width, dtype)`` signature is unchanged and reallocates when
+    it changes (mid-solve compactions keep their smaller local arrays).
+    """
+
+    def __init__(self) -> None:
+        self._signature: tuple[int, int, int, np.dtype] | None = None
+        self._buffers: tuple[np.ndarray, ...] | None = None
+
+    def buffers(
+        self, m: int, n: int, width: int, dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(resid (m,B), u (n,B), alpha (n,B), diff (n,B))``."""
+        signature = (m, n, width, np.dtype(dtype))
+        if self._signature != signature or self._buffers is None:
+            self._buffers = (
+                np.empty((m, width), dtype=dtype),
+                np.empty((n, width), dtype=dtype),
+                np.empty((n, width), dtype=dtype),
+                np.empty((n, width), dtype=dtype),
+            )
+            self._signature = signature
+        return self._buffers  # type: ignore[return-value]
 
 
 @dataclass
@@ -140,6 +183,7 @@ def batched_fista(
     lipschitz: float | None = None,
     x0: np.ndarray | None = None,
     operator_t: np.ndarray | None = None,
+    workspace: BatchWorkspace | None = None,
 ) -> BatchedSolverResult:
     """Solve ``min ||A alpha_b - y_b||^2 + lam_b ||alpha_b||_1`` for all b.
 
@@ -161,6 +205,10 @@ def batched_fista(
         Precomputed C-contiguous transpose of the operator (a reusable
         :class:`BatchedFista` caches it); computed here when omitted or
         when its dtype does not match the solve.
+    workspace:
+        Optional :class:`BatchWorkspace` providing the per-iteration
+        scratch buffers; a reusable :class:`BatchedFista` passes its own
+        so a stream of same-width solves allocates them once.
     """
     dense = _as_dense(a)
     ys = check_measurement_matrix(dense, ys)
@@ -221,10 +269,15 @@ def batched_fista(
     # the strided .T view at these small GEMM sizes
     if operator_t is None or operator_t.dtype != dtype:
         operator_t = np.ascontiguousarray(operator.T)
-    buf_resid = np.empty((m, batch), dtype=dtype)
-    buf_u = np.empty((n, batch), dtype=dtype)
-    buf_alpha = np.empty((n, batch), dtype=dtype)
-    buf_diff = np.empty((n, batch), dtype=dtype)
+    if workspace is not None:
+        buf_resid, buf_u, buf_alpha, buf_diff = workspace.buffers(
+            m, n, batch, dtype
+        )
+    else:
+        buf_resid = np.empty((m, batch), dtype=dtype)
+        buf_u = np.empty((n, batch), dtype=dtype)
+        buf_alpha = np.empty((n, batch), dtype=dtype)
+        buf_diff = np.empty((n, batch), dtype=dtype)
 
     iterations = np.zeros(batch, dtype=np.int64)
     converged = np.zeros(batch, dtype=bool)
@@ -319,6 +372,14 @@ class BatchedFista:
     (both depend only on the fixed sensing matrix and wavelet basis,
     exactly like the serial decoder's precomputation) and then solves
     arbitrary ``(m, B)`` measurement blocks.
+
+    Not reentrant: :meth:`solve` hands its instance-level
+    :class:`BatchWorkspace` to every call, so one instance serves one
+    caller at a time — concurrent solves on a shared instance would
+    scribble over each other's scratch buffers.  The fleet executor
+    respects this by sharding across *processes* (one solver per
+    worker); threads must each own a solver (or call
+    :func:`batched_fista` directly, which allocates private buffers).
     """
 
     def __init__(
@@ -328,6 +389,7 @@ class BatchedFista:
     ) -> None:
         self._dense = _as_dense(a)
         self._dense_t = np.ascontiguousarray(self._dense.T)
+        self._workspace = BatchWorkspace()
         self._lipschitz = (
             lipschitz
             if lipschitz is not None
@@ -370,4 +432,5 @@ class BatchedFista:
             lipschitz=self._lipschitz,
             x0=x0,
             operator_t=self._dense_t,
+            workspace=self._workspace,
         )

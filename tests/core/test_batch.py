@@ -114,8 +114,30 @@ class TestStreamEquivalence:
 
         tiny = SyntheticMitBih(duration_s=0.5).load("100")
         system = EcgMonitorSystem(small_config)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="record too short"):
             system.stream(tiny, batch_size=4)
+
+    def test_max_packets_zero_names_actual_cause(
+        self, small_config, database
+    ):
+        """A long-enough record with max_packets=0 must not claim the
+        record is too short — the old message misnamed the cause."""
+        system = EcgMonitorSystem(small_config)
+        with pytest.raises(ValueError, match="max_packets=0") as excinfo:
+            system.stream(database.load("100"), max_packets=0, batch_size=4)
+        assert "record too short" not in str(excinfo.value)
+
+    @pytest.mark.parametrize("batch_size", [None, 4])
+    def test_negative_max_packets_rejected(
+        self, small_config, database, batch_size
+    ):
+        """max_packets=-1 must raise, not silently truncate (batched)
+        or return an empty stream (serial)."""
+        system = EcgMonitorSystem(small_config)
+        with pytest.raises(ValueError, match="max_packets=-1"):
+            system.stream(
+                database.load("100"), max_packets=-1, batch_size=batch_size
+            )
 
     def test_calibrated_system_equivalence(self, small_config, database):
         """Equivalence must survive a trained codebook."""

@@ -114,6 +114,52 @@ class TestEncoder:
             encoder.train_codebook_on(windows[:1])  # only a keyframe
 
 
+class TestPacketPayloadDecoder:
+    """The operator-free stages 1-2 split used by fleet workers."""
+
+    def test_matches_full_decoder_payloads(self, small_config, windows):
+        from repro.core import PacketPayloadDecoder
+
+        encoder = CSEncoder(small_config)
+        encoder.reset()
+        packets = [encoder.encode(w) for w in windows[:5]]
+        standalone = PacketPayloadDecoder(
+            small_config, codebook=encoder.codebook
+        )
+        full = CSDecoder(small_config, codebook=encoder.codebook)
+        block = standalone.measurement_block(packets, np.float64)
+        assert block.shape == (small_config.m, 5)
+        for column, packet in enumerate(packets):
+            decoded = full.decode(packet)
+            np.testing.assert_allclose(decoded.measurements, block[:, column])
+
+    def test_decoder_aliases_delegate(self, small_config):
+        from repro.coding import train_codebook
+        from repro.core import MeasurementQuantizer
+
+        decoder = CSDecoder(small_config)
+        assert decoder.codebook is decoder.payload.codebook
+        assert decoder.codec is decoder.payload.codec
+        assert decoder.quantizer is decoder.payload.quantizer
+        replacement = train_codebook()
+        decoder.codebook = replacement
+        assert decoder.payload.codebook is replacement
+        shifted = MeasurementQuantizer(shift=3, d=small_config.d)
+        decoder.quantizer = shifted
+        assert decoder.payload.quantizer is shifted
+
+    def test_m_mismatch_detected(self, small_config):
+        from repro.core import PacketPayloadDecoder
+
+        other = small_config.replace(m=small_config.m // 2)
+        encoder = CSEncoder(other)
+        encoder.reset()
+        packet = encoder.encode(np.zeros(other.n, dtype=np.int64))
+        standalone = PacketPayloadDecoder(small_config)
+        with pytest.raises(DecodingError):
+            standalone.decode_payload(packet)
+
+
 class TestDecoder:
     def test_invalid_precision_rejected(self, small_config):
         with pytest.raises(ConfigurationError):

@@ -74,3 +74,29 @@ class TestMultiChannel:
         r1 = mono.stream(record, max_packets=3)
         r2 = stereo.stream(record, max_packets=3)
         assert r2.total_bits > 1.5 * r1.total_bits
+
+    def test_bits_per_second_uses_stream_duration(
+        self, small_config, database
+    ):
+        """Unequal per-lead packet counts: the rate is total bits over
+        the *longest* lead's duration, not the mean (the old code's mean
+        denominator overstated the sustained radio rate)."""
+        from repro.core import MultiChannelResult
+
+        monitor = MultiChannelMonitor(small_config, channels=2)
+        record = database.load("100")
+        long_lead = monitor.systems[0].stream(record, channel=0, max_packets=4)
+        short_lead = monitor.systems[1].stream(record, channel=1, max_packets=2)
+        result = MultiChannelResult(per_channel=[long_lead, short_lead])
+
+        true_duration = small_config.packet_seconds * 4  # max over leads
+        expected = result.total_bits / true_duration
+        assert result.bits_per_second() == pytest.approx(expected)
+        # the old mean-duration accounting reported a strictly higher rate
+        mean_duration = small_config.packet_seconds * (4 + 2) / 2
+        assert result.bits_per_second() < result.total_bits / mean_duration
+
+    def test_bits_per_second_empty_result_is_zero(self):
+        from repro.core import MultiChannelResult
+
+        assert MultiChannelResult().bits_per_second() == 0.0

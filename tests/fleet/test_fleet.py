@@ -1,0 +1,340 @@
+"""Cross-source equivalence for the fleet decode engine.
+
+The serial per-stream path stays the reference implementation; these
+tests pin the fleet engine to it exactly like
+``tests/core/test_batch.py`` pins the single-stream batched engine:
+bit-identical packets (the encoder is untouched integer arithmetic) and
+reconstructions matching to solver floating-point noise — across both
+MIT-BIH leads, across different records sharing one sensing operator,
+through ragged tail batches, ``max_packets`` limits and the sharded
+multi-process executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EcgMonitorSystem, MultiChannelMonitor
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    FleetDecoder,
+    GroupSchedule,
+    StreamTask,
+    build_schedules,
+    decode_fleet,
+    operator_key,
+    solve_key,
+)
+
+
+def _serial_reference(config, record, channel=0, max_packets=6, codebook=None):
+    """A fresh serial stream of one record channel (the ground truth)."""
+    system = EcgMonitorSystem(config)
+    if codebook is not None:
+        system.encoder.codebook = codebook
+        system.decoder.codebook = codebook
+    return system.stream(
+        record, channel=channel, max_packets=max_packets, keep_signals=True
+    )
+
+
+def _assert_stream_equivalent(fleet_result, serial_result, atol=1e-7):
+    """Packets bit-identical, solver trajectory identical, floats close."""
+    assert fleet_result.num_packets == serial_result.num_packets
+    for fleet_packet, serial_packet in zip(
+        fleet_result.packets, serial_result.packets
+    ):
+        assert fleet_packet.sequence == serial_packet.sequence
+        assert fleet_packet.is_keyframe == serial_packet.is_keyframe
+        assert fleet_packet.packet_bits == serial_packet.packet_bits
+        assert fleet_packet.iterations == serial_packet.iterations
+        assert fleet_packet.prd_percent == pytest.approx(
+            serial_packet.prd_percent, abs=1e-9
+        )
+    if fleet_result.reconstructed_adu is not None:
+        np.testing.assert_allclose(
+            fleet_result.reconstructed_adu,
+            serial_result.reconstructed_adu,
+            atol=atol,
+        )
+
+
+class TestOperatorKey:
+    def test_sensing_identity_fields_split_groups(self, small_config):
+        base = operator_key(small_config)
+        assert operator_key(small_config) == base
+        assert operator_key(small_config.replace(seed=99)) != base
+        assert operator_key(small_config.replace(m=64)) != base
+        assert operator_key(small_config.replace(d=4)) != base
+        assert operator_key(small_config.replace(wavelet="haar")) != base
+        assert operator_key(small_config.replace(levels=3)) != base
+        assert operator_key(small_config, precision="float32") != base
+
+    def test_solver_params_split_solves_not_operators(self, small_config):
+        relaxed = small_config.replace(tolerance=1e-3)
+        assert operator_key(small_config) == operator_key(relaxed)
+        assert solve_key(small_config) != solve_key(relaxed)
+
+    def test_non_operator_fields_share_groups(self, small_config):
+        assert operator_key(small_config) == operator_key(
+            small_config.replace(lam=0.01, keyframe_interval=4)
+        )
+
+
+class TestGroupSchedule:
+    def test_batches_span_stream_boundaries(self):
+        schedule = GroupSchedule.build([0, 1], [5, 5], batch_size=4)
+        assert schedule.total_windows == 10
+        assert schedule.num_batches == 3
+        spans = list(schedule.batches())
+        assert spans == [(0, 4), (4, 8), (8, 10)]
+        # second batch mixes the tail of stream 0 with the head of 1
+        mixed = schedule.stream_of[4:8]
+        assert set(mixed.tolist()) == {0, 1}
+
+    def test_routing_preserves_per_stream_order(self):
+        schedule = GroupSchedule.build([3, 7], [3, 2], batch_size=2)
+        for local, count in enumerate(schedule.counts):
+            rows = schedule.index_of[schedule.stream_of == local]
+            np.testing.assert_array_equal(rows, np.arange(count))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GroupSchedule.build([0], [3], batch_size=0)
+        with pytest.raises(ConfigurationError):
+            GroupSchedule.build([], [], batch_size=4)
+        with pytest.raises(ConfigurationError):
+            GroupSchedule.build([0, 1], [3, 0], batch_size=4)
+
+    def test_build_schedules_groups_by_key(self):
+        keys = [("a",), ("b",), ("a",), ("a",)]
+        schedules = build_schedules(keys, [2, 3, 4, 1], batch_size=4)
+        assert [s.stream_ids for s in schedules] == [(0, 2, 3), (1,)]
+        assert [s.total_windows for s in schedules] == [7, 3]
+        with pytest.raises(ConfigurationError):
+            build_schedules(keys, [1, 2], batch_size=4)
+
+
+class TestCrossSourceEquivalence:
+    def test_both_leads_pooled(self, small_config, database):
+        """(a) both MIT-BIH leads through the fleet vs per-lead serial."""
+        record = database.load("100")
+        monitor = MultiChannelMonitor(small_config, channels=2)
+        tasks = [
+            StreamTask(
+                system, record, channel=channel, max_packets=5,
+                keep_signals=True,
+            )
+            for channel, system in enumerate(monitor.systems)
+        ]
+        results = decode_fleet(tasks, batch_size=3)
+        for channel, fleet_result in enumerate(results):
+            serial = _serial_reference(
+                small_config.replace(seed=small_config.seed + channel),
+                record,
+                channel=channel,
+                max_packets=5,
+            )
+            _assert_stream_equivalent(fleet_result, serial)
+
+    def test_two_records_one_operator_group(self, small_config, database):
+        """(b) two records share the operator; batches span both."""
+        records = [database.load("100"), database.load("119")]
+        systems = [EcgMonitorSystem(small_config) for _ in records]
+        tasks = [
+            StreamTask(system, record, max_packets=5, keep_signals=True)
+            for system, record in zip(systems, records)
+        ]
+        # batch 4 over 2x5 windows: the middle batch mixes both records
+        results = decode_fleet(tasks, batch_size=4)
+        for record, fleet_result in zip(records, results):
+            _assert_stream_equivalent(
+                fleet_result,
+                _serial_reference(small_config, record, max_packets=5),
+            )
+
+    def test_ragged_tail_and_max_packets(self, small_config, database):
+        """Unequal max_packets limits leave a ragged pooled tail."""
+        records = [database.load("100"), database.load("201")]
+        systems = [EcgMonitorSystem(small_config) for _ in records]
+        limits = (5, 2)
+        tasks = [
+            StreamTask(system, record, max_packets=limit)
+            for system, record, limit in zip(systems, records, limits)
+        ]
+        results = decode_fleet(tasks, batch_size=3)
+        assert [r.num_packets for r in results] == list(limits)
+        for record, limit, fleet_result in zip(records, limits, results):
+            _assert_stream_equivalent(
+                fleet_result,
+                _serial_reference(small_config, record, max_packets=limit),
+            )
+
+    def test_calibrated_codebooks_stay_per_stream(
+        self, small_config, database
+    ):
+        """Streams with different trained codebooks share one solve."""
+        records = [database.load("100"), database.load("106")]
+        systems = [EcgMonitorSystem(small_config) for _ in records]
+        for system, record in zip(systems, records):
+            system.calibrate(record)
+        assert systems[0].encoder.codebook is not systems[1].encoder.codebook
+        tasks = [
+            StreamTask(system, record, max_packets=4)
+            for system, record in zip(systems, records)
+        ]
+        results = decode_fleet(tasks, batch_size=8)
+        for system, record, fleet_result in zip(systems, records, results):
+            serial = _serial_reference(
+                small_config,
+                record,
+                max_packets=4,
+                codebook=system.encoder.codebook,
+            )
+            _assert_stream_equivalent(fleet_result, serial)
+
+    def test_mixed_operator_groups_route_correctly(
+        self, small_config, database
+    ):
+        """Interleaved submission of two groups routes back in order."""
+        other = small_config.replace(seed=small_config.seed + 7)
+        record = database.load("100")
+        tasks = [
+            StreamTask(EcgMonitorSystem(cfg), record, max_packets=3)
+            for cfg in (small_config, other, small_config, other)
+        ]
+        results = decode_fleet(tasks, batch_size=4)
+        ref_a = _serial_reference(small_config, record, max_packets=3)
+        ref_b = _serial_reference(other, record, max_packets=3)
+        for index, fleet_result in enumerate(results):
+            _assert_stream_equivalent(
+                fleet_result, ref_a if index % 2 == 0 else ref_b
+            )
+
+
+class TestShardedExecutor:
+    def test_workers_match_inprocess_bitwise(self, small_config, database):
+        """Workers rebuild operators from seeds: identical trajectories."""
+        other = small_config.replace(seed=small_config.seed + 1)
+        records = [database.load("100"), database.load("119")]
+        tasks_of = lambda: [
+            StreamTask(
+                EcgMonitorSystem(cfg), record, max_packets=4,
+                keep_signals=True,
+            )
+            for cfg, record in zip((small_config, other), records)
+        ]
+        inprocess = decode_fleet(tasks_of(), batch_size=3)
+        sharded = decode_fleet(tasks_of(), batch_size=3, workers=2)
+        for a, b in zip(inprocess, sharded):
+            assert [p.iterations for p in a.packets] == [
+                p.iterations for p in b.packets
+            ]
+            assert [p.packet_bits for p in a.packets] == [
+                p.packet_bits for p in b.packets
+            ]
+            np.testing.assert_array_equal(
+                a.reconstructed_adu, b.reconstructed_adu
+            )
+
+    def test_single_group_falls_back_inprocess(self, small_config, database):
+        """One group cannot shard; the engine skips the pool entirely."""
+        record = database.load("100")
+        tasks = [
+            StreamTask(EcgMonitorSystem(small_config), record, max_packets=3)
+        ]
+        engine = FleetDecoder(batch_size=2, workers=4)
+        results = engine.run(tasks)
+        assert engine.last_num_groups == 1
+        assert engine.last_effective_workers == 1  # reported, not requested
+        _assert_stream_equivalent(
+            results[0],
+            _serial_reference(small_config, record, max_packets=3),
+        )
+
+    def test_run_reports_effective_sharding(self, small_config, database):
+        record = database.load("100")
+        other = small_config.replace(seed=small_config.seed + 1)
+        tasks = [
+            StreamTask(EcgMonitorSystem(cfg), record, max_packets=2)
+            for cfg in (small_config, other)
+        ]
+        engine = FleetDecoder(batch_size=2, workers=2)
+        engine.run(tasks)
+        assert engine.last_num_groups == 2
+        assert engine.last_effective_workers == 2
+
+    def test_non_lead_streams_skip_operator_build(
+        self, small_config, database
+    ):
+        """Lazy decoder materialization: only the group lead pays the
+        dense build + Lipschitz estimate in a single-process run."""
+        record = database.load("100")
+        systems = [EcgMonitorSystem(small_config) for _ in range(3)]
+        assert all(s.decoder._system_cache is None for s in systems)
+        tasks = [
+            StreamTask(system, record, max_packets=2) for system in systems
+        ]
+        decode_fleet(tasks, batch_size=4)
+        assert systems[0].decoder._system_cache is not None
+        assert all(s.decoder._system_cache is None for s in systems[1:])
+
+
+class TestFleetApi:
+    def test_empty_task_list(self):
+        assert FleetDecoder().run([]) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FleetDecoder(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            FleetDecoder(workers=-1)
+
+    def test_max_packets_zero_names_cause(self, small_config, database):
+        task = StreamTask(
+            EcgMonitorSystem(small_config), database.load("100"), max_packets=0
+        )
+        with pytest.raises(ValueError, match="max_packets"):
+            FleetDecoder(batch_size=2).run([task])
+
+    def test_warm_start_decoder_rejected(self, small_config, database):
+        """Pooled batches span streams: the per-stream warm-start chain
+        cannot be reproduced, so the engine refuses explicitly."""
+        system = EcgMonitorSystem(small_config)
+        system.decoder.warm_start = True
+        task = StreamTask(system, database.load("100"), max_packets=3)
+        with pytest.raises(ConfigurationError, match="warm_start"):
+            FleetDecoder(batch_size=2).run([task])
+
+    def test_multichannel_fleet_workers_needs_batching(
+        self, small_config, database
+    ):
+        monitor = MultiChannelMonitor(small_config, channels=2)
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            monitor.stream(
+                database.load("100"), max_packets=2, fleet_workers=2
+            )
+
+    def test_multichannel_stream_uses_fleet(self, small_config, database):
+        """The monitor's batched path pools leads through the scheduler."""
+        record = database.load("100")
+        serial_monitor = MultiChannelMonitor(small_config, channels=2)
+        fleet_monitor = MultiChannelMonitor(small_config, channels=2)
+        serial = serial_monitor.stream(record, max_packets=4)
+        pooled = fleet_monitor.stream(record, max_packets=4, batch_size=4)
+        assert pooled.num_channels == serial.num_channels == 2
+        assert pooled.total_bits == serial.total_bits
+        for lead_serial, lead_pooled in zip(
+            serial.per_channel, pooled.per_channel
+        ):
+            _assert_stream_equivalent(lead_pooled, lead_serial)
+
+    def test_multichannel_fleet_workers_param(self, small_config, database):
+        record = database.load("100")
+        monitor = MultiChannelMonitor(small_config, channels=2)
+        result = monitor.stream(
+            record, max_packets=3, batch_size=3, fleet_workers=2
+        )
+        assert result.num_channels == 2
+        assert all(r.num_packets == 3 for r in result.per_channel)

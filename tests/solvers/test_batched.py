@@ -8,6 +8,7 @@ import pytest
 from repro.errors import SolverError
 from repro.solvers import (
     BatchedFista,
+    BatchWorkspace,
     batched_fista,
     batched_lambda_from_fraction,
     fista,
@@ -59,6 +60,29 @@ class TestBatchedLambda:
         with pytest.raises(SolverError):
             batched_lambda_from_fraction(
                 batch_problem["a"], batch_problem["ys"], 0.0
+            )
+
+    def test_per_column_fractions(self, batch_problem):
+        """A cross-stream batch can mix streams with different lam."""
+        a, ys = batch_problem["a"], batch_problem["ys"]
+        fractions = np.linspace(0.02, 0.1, ys.shape[1])
+        lams = batched_lambda_from_fraction(a, ys, fractions)
+        for b in range(ys.shape[1]):
+            serial = lambda_from_fraction(a, ys[:, b], float(fractions[b]))
+            assert lams[b] == pytest.approx(serial, rel=1e-12)
+
+    def test_fraction_vector_shape_mismatch(self, batch_problem):
+        with pytest.raises(SolverError):
+            batched_lambda_from_fraction(
+                batch_problem["a"], batch_problem["ys"], np.array([0.05, 0.05])
+            )
+
+    def test_fraction_vector_with_nonpositive_entry(self, batch_problem):
+        fractions = np.full(batch_problem["ys"].shape[1], 0.05)
+        fractions[2] = 0.0
+        with pytest.raises(SolverError):
+            batched_lambda_from_fraction(
+                batch_problem["a"], batch_problem["ys"], fractions
             )
 
 
@@ -222,6 +246,46 @@ class TestBatchedFistaClass:
         assert one.iterations == int(result.iterations[0])
         with pytest.raises(IndexError):
             result.per_column(ys.shape[1])
+
+    def test_workspace_reuse_matches_fresh_buffers(self, batch_problem):
+        """Same-width solves through one workspace stay bit-identical."""
+        a, ys = batch_problem["a"], batch_problem["ys"]
+        lams = batched_lambda_from_fraction(a, ys, 0.05)
+        workspace = BatchWorkspace()
+        kwargs = dict(
+            max_iterations=200,
+            tolerance=1e-4,
+            lipschitz=batch_problem["lipschitz"],
+        )
+        fresh = batched_fista(a, ys, lams, **kwargs)
+        first = batched_fista(a, ys, lams, workspace=workspace, **kwargs)
+        # a second pass reuses dirty buffers; results must not change
+        second = batched_fista(a, ys, lams, workspace=workspace, **kwargs)
+        np.testing.assert_array_equal(fresh.coefficients, first.coefficients)
+        np.testing.assert_array_equal(first.coefficients, second.coefficients)
+        np.testing.assert_array_equal(first.iterations, second.iterations)
+
+    def test_workspace_reallocates_on_width_change(self, batch_problem):
+        workspace = BatchWorkspace()
+        a = batch_problem["a"]
+        m, n = a.shape
+        wide = workspace.buffers(m, n, 6, np.float64)
+        assert wide[0].shape == (m, 6)
+        same = workspace.buffers(m, n, 6, np.float64)
+        assert all(x is y for x, y in zip(wide, same))
+        narrow = workspace.buffers(m, n, 2, np.float64)
+        assert narrow[0].shape == (m, 2)
+
+    def test_solver_class_reuses_its_workspace(self, batch_problem):
+        solver = BatchedFista(
+            batch_problem["a"], lipschitz=batch_problem["lipschitz"]
+        )
+        ys = batch_problem["ys"]
+        first = solver.solve(ys, 0.5, max_iterations=30, tolerance=1e-4)
+        second = solver.solve(ys, 0.5, max_iterations=30, tolerance=1e-4)
+        np.testing.assert_array_equal(
+            first.coefficients, second.coefficients
+        )
 
     def test_float32_batch_keeps_dtype(self, batch_problem):
         solver = BatchedFista(

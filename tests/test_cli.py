@@ -23,6 +23,69 @@ class TestCli:
         assert "measured_cr" in captured
         assert "snr_db" in captured
 
+    def test_fleet(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--streams", "2",
+                "--packets", "2",
+                "--duration", "12",
+                "--batch-size", "4",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "1 operator group(s)" in captured
+        assert "single process" in captured
+        assert "windows/s" in captured
+
+    def test_fleet_workers_flag(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--streams", "2",
+                "--packets", "2",
+                "--duration", "12",
+                "--batch-size", "4",
+                "--groups", "2",
+                "--fleet-workers", "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "2 operator group(s)" in captured
+        assert "2 workers" in captured
+
+    def test_fleet_workers_without_groups_reports_single_process(
+        self, capsys
+    ):
+        """One operator group cannot shard; the mode string must say
+        what actually ran, not what was requested."""
+        code = main(
+            [
+                "fleet",
+                "--streams", "2",
+                "--packets", "2",
+                "--duration", "12",
+                "--batch-size", "4",
+                "--fleet-workers", "4",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "single process" in captured
+
+    def test_fleet_invalid_streams(self, capsys):
+        assert main(["fleet", "--streams", "0"]) == 2
+
+    def test_fleet_invalid_packets(self, capsys):
+        assert main(["fleet", "--streams", "1", "--packets", "0"]) == 2
+
+    def test_fleet_invalid_batch_size_exits_cleanly(self, capsys):
+        assert main(["fleet", "--batch-size", "0"]) == 2
+        assert main(["fleet", "--fleet-workers", "-1"]) == 2
+        assert main(["fleet", "--groups", "0"]) == 2
+
     def test_sweep_fig7(self, capsys):
         code = main(
             [
