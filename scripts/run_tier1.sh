@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification + decode-engine benchmark smokes.
+# Tier-1 verification + decode-engine benchmark smokes + docs checks.
 #
-#   scripts/run_tier1.sh          # full test suite + smoke benchmarks
-#   scripts/run_tier1.sh --fast   # skip the benchmark smokes
+#   scripts/run_tier1.sh          # tests + smoke benchmarks + examples + docs
+#   scripts/run_tier1.sh --fast   # skip the benchmark/example/docs smokes
 #
 # The tier-1 command is the repo's ROADMAP-pinned gate; the smoke runs
-# exercise the batched decode engine and the fleet decode scheduler
-# end-to-end (bit-exact packets, equivalence asserts, a real 2-worker
-# pool) with timing thresholds relaxed so they stay fast on any
-# machine.  Each benchmark must also write its machine-readable
-# BENCH_<name>.json — a bench that silently stops reporting fails the
-# gate.
+# exercise the batched decode engine, the fleet decode scheduler and
+# the live ingestion gateway end-to-end (bit-exact packets, equivalence
+# asserts, a real 2-worker pool, the TCP wire path) with timing
+# thresholds relaxed so they stay fast on any machine.  Each benchmark
+# must also write its machine-readable BENCH_<name>.json — a bench
+# that silently stops reporting fails the gate.  The docs check greps
+# README's CLI reference against the argparse subcommand list so the
+# two cannot drift apart silently.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,12 +32,40 @@ if [[ "${1:-}" != "--fast" ]]; then
         benchmarks/results/BENCH_fleet_decode_sharded.json
     REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_fleet_decode.py -q
 
-    for name in batched_decode fleet_decode fleet_decode_sharded; do
+    echo "== ingest gateway benchmark (smoke mode) =="
+    rm -f benchmarks/results/BENCH_ingest_gateway.json
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_ingest_gateway.py -q
+
+    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway; do
         if [[ ! -s "benchmarks/results/BENCH_${name}.json" ]]; then
             echo "ERROR: benchmarks wrote no benchmarks/results/BENCH_${name}.json" >&2
             exit 1
         fi
     done
+
+    echo "== example smokes =="
+    python examples/quickstart.py > /dev/null
+    python examples/live_gateway.py > /dev/null
+    echo "examples OK"
+
+    echo "== README CLI reference vs repro-ecg --help =="
+    subcommands=$(python -c "
+import argparse
+from repro.cli import _build_parser
+sub = next(
+    a for a in _build_parser()._actions
+    if isinstance(a, argparse._SubParsersAction)
+)
+print(' '.join(sub.choices))
+")
+    for cmd in ${subcommands}; do
+        if ! grep -q "repro-ecg ${cmd}" README.md; then
+            echo "ERROR: README.md CLI reference is missing 'repro-ecg ${cmd}'" >&2
+            echo "       (subcommand exists in repro-ecg --help; update README)" >&2
+            exit 1
+        fi
+    done
+    echo "README lists all ${subcommands// /, } subcommands"
 fi
 
 echo "== tier-1 OK =="

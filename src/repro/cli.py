@@ -4,6 +4,8 @@ Installed as ``repro-ecg``::
 
     repro-ecg quickstart --cr 50 --record 100
     repro-ecg fleet --streams 8 --batch-size 32 --groups 4 --fleet-workers 4
+    repro-ecg serve --port 9765 --flush-ms 250 --fleet-workers 2
+    repro-ecg serve --simulate 4 --packets 6     # self-contained demo
     repro-ecg sweep --figure fig7 --records 3 --packets 6
     repro-ecg fig8
     repro-ecg budget
@@ -12,6 +14,9 @@ Installed as ``repro-ecg``::
 
 Every subcommand prints the same tables the benchmarks assert on, sized
 by ``--records``/``--packets`` so a laptop run stays interactive.
+``serve`` runs the live ingestion gateway (:mod:`repro.ingest`) — with
+``--simulate N`` it also spawns N in-process node clients over real TCP
+and exits when they finish.
 """
 
 from __future__ import annotations
@@ -101,8 +106,88 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "shard operator groups across this many decode processes "
-            "(default: single-process pooled decode)"
+            "shard the decode across this many processes: whole operator "
+            "groups when there are >= 2, batch-aligned column slices "
+            "within the group when the fleet shares one matrix. Falls "
+            "back to a single process — with a warning naming the "
+            "reason — when omitted/0/1, when the only group's windows "
+            "fit a single batch, or when the platform cannot start a "
+            "multiprocessing pool"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the live ingestion gateway: accept node connections "
+            "over TCP and decode their packet streams in real time"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9765,
+        help="TCP port to listen on (0 = OS-assigned)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help=(
+            "target solve width; batches fill across all connected "
+            "streams sharing one sensing operator"
+        ),
+    )
+    serve.add_argument(
+        "--flush-ms",
+        type=float,
+        default=250.0,
+        help=(
+            "flush-on-idle deadline: a pending window decodes at most "
+            "this many ms after arrival even if the batch is not full"
+        ),
+    )
+    serve.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=None,
+        help=(
+            "decode flushed batches on this many worker processes "
+            "(>= 2 shards within an operator group; default/0/1: "
+            "solve in-process on a thread)"
+        ),
+    )
+    serve.add_argument(
+        "--simulate",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "demo/bench mode: spawn N simulated node clients over TCP "
+            "against this gateway, print their latency table, and exit "
+            "(0 = serve until interrupted)"
+        ),
+    )
+    serve.add_argument(
+        "--packets",
+        type=int,
+        default=6,
+        help="windows each simulated node streams (with --simulate)",
+    )
+    serve.add_argument(
+        "--cr", type=float, default=50.0, help="nominal CR of simulated nodes"
+    )
+    serve.add_argument(
+        "--interval-ms",
+        type=float,
+        default=100.0,
+        help=(
+            "pacing between a simulated node's packets, in ms "
+            "(0 = as fast as the link accepts; the true node rate is "
+            "one packet per 2000 ms)"
         ),
     )
 
@@ -206,9 +291,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         for index, (name, result) in enumerate(zip(names, results))
     ]
     # report what actually ran: the engine owns the fallback decision
+    # (and warns with the reason when a workers>=2 request fell back)
     groups = decoder.last_num_groups
     mode = (
-        f"{decoder.last_effective_workers} workers"
+        f"{decoder.last_effective_workers} workers "
+        f"({decoder.last_shard_mode})"
         if decoder.last_effective_workers > 1
         else "single process"
     )
@@ -227,6 +314,119 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"({total_windows / elapsed:.1f} windows/s)"
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import ConfigurationError
+    from .ingest import IngestGateway, NodeClient
+
+    if args.simulate < 0:
+        print("--simulate must be >= 0", file=sys.stderr)
+        return 2
+    if args.simulate and args.packets < 1:
+        print("--packets must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        gateway = IngestGateway(
+            batch_size=args.batch_size,
+            flush_ms=args.flush_ms,
+            workers=args.fleet_workers,
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def _serve_forever() -> int:
+        port = await gateway.start(args.host, args.port)
+        workers = gateway.workers
+        mode = f"{workers} worker processes" if workers > 1 else "in-process"
+        print(
+            f"ingest gateway listening on {args.host}:{port} "
+            f"(batch {args.batch_size}, flush {args.flush_ms:.0f} ms, "
+            f"{mode} decode); Ctrl-C to stop"
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await gateway.close()
+        return 0
+
+    async def _simulate() -> int:
+        port = await gateway.start(args.host, args.port)
+        base = SystemConfig().with_target_cr(args.cr)
+        duration = args.packets * base.packet_seconds + 4.0
+        database = SyntheticMitBih(duration_s=duration)
+        clients = []
+        # every simulated node ships the paper's shared fixed matrix ->
+        # one operator group, batches fill across all of them
+        for index in range(args.simulate):
+            record = database.load(
+                list(RECORD_NAMES)[index % len(RECORD_NAMES)]
+            )
+            system = EcgMonitorSystem(base)
+            system.calibrate(record)
+            clients.append(
+                NodeClient(
+                    system,
+                    record,
+                    max_packets=args.packets,
+                    interval_s=args.interval_ms / 1000.0,
+                )
+            )
+        try:
+            outcomes = await asyncio.gather(
+                *[client.run_tcp(args.host, port) for client in clients],
+                return_exceptions=True,
+            )
+        finally:
+            await gateway.close()
+        failures = [o for o in outcomes if isinstance(o, BaseException)]
+        for failure in failures:
+            print(f"node client failed: {failure}", file=sys.stderr)
+        reports = [o for o in outcomes if not isinstance(o, BaseException)]
+        if not reports:
+            return 1
+        rows = [
+            {
+                "stream": index,
+                "record": report.record,
+                "sent": report.sent,
+                "decoded": report.acked,
+                "max_latency_ms": report.max_gateway_latency_ms,
+                "mean_iters": (
+                    sum(report.iterations) / max(len(report.iterations), 1)
+                ),
+            }
+            for index, report in enumerate(reports)
+        ]
+        stats = gateway.stats
+        print(
+            render_table(
+                rows,
+                title=(
+                    f"live gateway: {args.simulate} nodes over TCP, "
+                    f"batch {args.batch_size}, flush {args.flush_ms:.0f} ms"
+                ),
+            )
+        )
+        print(
+            f"{stats.windows_decoded} windows in {stats.batches} pooled "
+            f"batches ({stats.cross_stream_batches} spanning streams; "
+            f"flushes: {stats.flushes_full} full, "
+            f"{stats.flushes_deadline} deadline, "
+            f"{stats.flushes_drain} drain)"
+        )
+        if failures or any(report.error for report in reports):
+            return 1
+        return 0
+
+    try:
+        return asyncio.run(_simulate() if args.simulate else _serve_forever())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+        return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -319,6 +519,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "quickstart": _cmd_quickstart,
         "fleet": _cmd_fleet,
+        "serve": _cmd_serve,
         "sweep": _cmd_sweep,
         "fig8": _cmd_fig8,
         "budget": _cmd_budget,

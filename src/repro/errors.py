@@ -67,3 +67,8 @@ class BufferUnderrunError(RealTimeError):
 
 class PacketFormatError(ReproError):
     """A serialized packet does not follow the on-air format."""
+
+
+class ProtocolError(ReproError):
+    """A gateway link violates the ingest wire protocol (bad frame,
+    truncated stream, unsupported handshake...)."""

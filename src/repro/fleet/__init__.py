@@ -29,17 +29,25 @@ stream's :class:`~repro.core.decoder.PacketPayloadDecoder`, and decoded
 windows are routed back to their originating
 :class:`~repro.core.system.StreamResult` in order.
 
-**No-matrix-pickling workers.**  With ``workers >= 2``, operator
-groups are partitioned across a ``multiprocessing`` pool.  A group
-task serializes only primitives: each stream's scalar config fields,
-its (kilobyte-scale) codebook and its packets as wire bytes — the
-same integer payloads the radio carries.  Workers rebuild the dense
-operator from the seed once per operator group and cache it for the
-life of the process, so no matrix is ever pickled in either
-direction; only decoded sample/iteration arrays come back.  A
-single-process fallback (``workers in (None, 0, 1)``, or fewer groups
-than it takes to shard) reuses the lead decoder's already-materialized
-operator instead.
+**No-matrix-pickling workers.**  With ``workers >= 2``, the work is
+partitioned across a ``multiprocessing`` pool in one of two layouts.
+With two or more operator groups, whole groups are sharded: a group
+task serializes only primitives — each stream's scalar config fields,
+its (kilobyte-scale) codebook and its packets as wire bytes, the same
+integer payloads the radio carries.  With exactly one group (the
+paper's fleet: every node ships the same fixed matrix), sharding
+whole groups would serialize on one process's BLAS, so the engine
+shards *within* the group instead: stages 1-2 run in the parent and
+the pooled column stream is split into batch-aligned contiguous
+slices, one per worker (:func:`~repro.fleet.engine.split_batches` /
+:func:`~repro.fleet.engine.solve_measurement_block`).  In both
+layouts workers rebuild the dense operator from the seed once per
+operator group and cache it for the life of the process, so no matrix
+is ever pickled in either direction; only decoded sample/iteration
+arrays come back.  The single-process fallback applies when
+``workers in (None, 0, 1)``, when the only group's windows fit a
+single batch (nothing to shard), or when the platform cannot start a
+pool — the latter two emit one ``RuntimeWarning`` naming the reason.
 
 Equivalence contract: packets are produced by the unchanged integer
 encoder (bit-identical to the serial reference), and every pooled
@@ -50,7 +58,13 @@ span streams.  ``tests/fleet/test_fleet.py`` pins this the same way
 ``tests/core/test_batch.py`` pins the single-stream engine.
 """
 
-from .engine import FleetDecoder, StreamTask, decode_fleet
+from .engine import (
+    FleetDecoder,
+    StreamTask,
+    decode_fleet,
+    solve_measurement_block,
+    split_batches,
+)
 from .scheduler import (
     GroupSchedule,
     build_schedules,
@@ -62,6 +76,8 @@ __all__ = [
     "FleetDecoder",
     "StreamTask",
     "decode_fleet",
+    "solve_measurement_block",
+    "split_batches",
     "GroupSchedule",
     "build_schedules",
     "operator_key",

@@ -17,17 +17,34 @@ pipeline:
 - **route phase** (parent): decoded windows scatter back to their
   originating :class:`~repro.core.system.StreamResult` in order.
 
-Workers never receive a matrix: a group task carries each stream's
-scalar :class:`~repro.config.SystemConfig` fields, its (small) Huffman
-codebook and its packets as wire bytes; the worker rebuilds
-``A = Phi Psi^-1`` from the seed once per operator group and caches it
-for the life of the process.
+Sharding picks one of two layouts:
+
+- **group sharding** (``>= 2`` operator groups): whole groups are
+  partitioned across the pool.  Workers never receive a matrix: a group
+  task carries each stream's scalar :class:`~repro.config.SystemConfig`
+  fields, its (small) Huffman codebook and its packets as wire bytes;
+  the worker rebuilds ``A = Phi Psi^-1`` from the seed once per
+  operator group and caches it for the life of the process.
+- **column sharding** (one operator group — the paper's fleet, where
+  every node ships the same fixed matrix): the parent runs stages 1-2
+  and splits the group's pooled *column* stream into batch-aligned
+  slices, one per worker, so the single shared operator no longer
+  serializes on one process's BLAS.  Workers receive only the float
+  measurement columns (kilobytes per batch) and, as above, rebuild the
+  operator from the seed.
+
+Both layouts reproduce the in-process batch boundaries exactly, so the
+decoded output is bit-identical to the single-process pooled path.  If
+sharding was requested but cannot apply (nothing to split, or the
+platform cannot start a pool), the engine decodes in-process and emits
+one :class:`RuntimeWarning` naming the reason.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -82,6 +99,82 @@ class _StreamDecode:
     decode_seconds: np.ndarray  # (B,) float64
 
 
+def _pool_group_columns(
+    payload_decoders: Sequence[PacketPayloadDecoder],
+    packet_lists: Sequence[Sequence[EncodedPacket]],
+    lam_fractions: Sequence[float],
+    counts: Sequence[int],
+    dtype: type,
+) -> tuple[np.ndarray, np.ndarray, list[float]]:
+    """Stages 1-2 for one group: pooled block + per-column fractions.
+
+    Shared by every decode layout (in-process, group-sharded workers,
+    column-sharded parent): streams concatenate in local group order,
+    matching :class:`~repro.fleet.scheduler.GroupSchedule`'s column
+    layout.  Also returns each stream's per-window payload-decode time
+    share for the ``decode_seconds`` accounting.
+    """
+    payload_share: list[float] = []
+    blocks: list[np.ndarray] = []
+    for decoder, packets in zip(payload_decoders, packet_lists):
+        started = time.perf_counter()
+        decoder.reset()
+        blocks.append(decoder.measurement_block(list(packets), dtype))
+        payload_share.append(
+            (time.perf_counter() - started) / max(len(packets), 1)
+        )
+    pooled = np.concatenate(blocks, axis=1)
+    fractions = np.repeat(
+        np.asarray(lam_fractions, dtype=np.float64), np.asarray(counts)
+    )
+    return pooled, fractions, payload_share
+
+
+def _allocate_stream_outputs(
+    counts: Sequence[int], payload_share: Sequence[float], n: int
+) -> list[_StreamDecode]:
+    """Per-stream result buffers, decode_seconds seeded with the
+    stream's payload-decode share."""
+    return [
+        _StreamDecode(
+            samples_adu=np.empty((count, n), dtype=np.float64),
+            iterations=np.zeros(count, dtype=np.int64),
+            decode_seconds=np.full(count, share, dtype=np.float64),
+        )
+        for count, share in zip(counts, payload_share)
+    ]
+
+
+def _scatter_columns(
+    outputs: list[_StreamDecode],
+    schedule: GroupSchedule,
+    start: int,
+    stop: int,
+    signals: np.ndarray,
+    iterations: np.ndarray,
+    seconds: np.ndarray,
+    dc_offsets: Sequence[int],
+) -> None:
+    """Route pooled columns ``[start, stop)`` back to their streams.
+
+    ``signals``/``iterations``/``seconds`` are indexed relative to the
+    slice; the single routing implementation is what keeps every
+    layout's output identical by construction.
+    """
+    stream_of = schedule.stream_of[start:stop]
+    index_of = schedule.index_of[start:stop]
+    for local in np.unique(stream_of):
+        mask = stream_of == local
+        rows = index_of[mask]
+        out = outputs[local]
+        out.samples_adu[rows] = (
+            np.asarray(signals[:, mask], dtype=np.float64).T
+            + dc_offsets[local]
+        )
+        out.iterations[rows] = iterations[mask]
+        out.decode_seconds[rows] += seconds[mask]
+
+
 def _decode_group(
     solver: BatchedFista,
     transform: "WaveletTransform",
@@ -96,32 +189,16 @@ def _decode_group(
 ) -> list[_StreamDecode]:
     """Decode one operator group's pooled windows.
 
-    Shared by the in-process path and the sharded workers; inputs are
-    ordered like ``schedule.stream_ids`` (local group order).
+    Shared by the in-process path and the group-sharded workers;
+    inputs are ordered like ``schedule.stream_ids`` (local group
+    order).
     """
-    n = transform.n
-    payload_share: list[float] = []
-    blocks: list[np.ndarray] = []
-    for decoder, packets in zip(payload_decoders, packet_lists):
-        started = time.perf_counter()
-        decoder.reset()
-        blocks.append(decoder.measurement_block(list(packets), dtype))
-        payload_share.append(
-            (time.perf_counter() - started) / max(len(packets), 1)
-        )
-    pooled = np.concatenate(blocks, axis=1)
-    fractions = np.repeat(
-        np.asarray(lam_fractions, dtype=np.float64), schedule.counts
+    pooled, fractions, payload_share = _pool_group_columns(
+        payload_decoders, packet_lists, lam_fractions, schedule.counts, dtype
     )
-
-    outputs = [
-        _StreamDecode(
-            samples_adu=np.empty((count, n), dtype=np.float64),
-            iterations=np.zeros(count, dtype=np.int64),
-            decode_seconds=np.full(count, share, dtype=np.float64),
-        )
-        for count, share in zip(schedule.counts, payload_share)
-    ]
+    outputs = _allocate_stream_outputs(
+        schedule.counts, payload_share, transform.n
+    )
 
     for start, stop in schedule.batches():
         batch_started = time.perf_counter()
@@ -135,19 +212,16 @@ def _decode_group(
         )
         signals = transform.inverse_batch(result.coefficients)
         batch_share = (time.perf_counter() - batch_started) / (stop - start)
-
-        stream_of = schedule.stream_of[start:stop]
-        index_of = schedule.index_of[start:stop]
-        for local in np.unique(stream_of):
-            mask = stream_of == local
-            rows = index_of[mask]
-            out = outputs[local]
-            out.samples_adu[rows] = (
-                np.asarray(signals[:, mask], dtype=np.float64).T
-                + dc_offsets[local]
-            )
-            out.iterations[rows] = result.iterations[mask]
-            out.decode_seconds[rows] += batch_share
+        _scatter_columns(
+            outputs,
+            schedule,
+            start,
+            stop,
+            signals,
+            result.iterations,
+            np.full(stop - start, batch_share),
+            dc_offsets,
+        )
     return outputs
 
 
@@ -235,6 +309,82 @@ def _worker_decode_group(group_task: dict) -> list[dict]:
     ]
 
 
+def solve_measurement_block(task: dict) -> dict:
+    """Reconstruct a slice of one group's pooled measurement columns.
+
+    The unit of *column sharding*: the caller has already run stages
+    1-2 (entropy decode, redundancy re-insertion, dequantization) and
+    ships a ``(m, B)`` float block plus per-column lambda fractions;
+    this function rebuilds the group's operator from the config seed
+    (cached per process via :func:`_group_resources`), slices the block
+    into ``batch_size``-wide solves and returns the synthesized signals.
+
+    Because the caller hands it batch-aligned slices, the solve widths
+    reproduce the in-process :func:`_decode_group` boundaries exactly,
+    making the output bit-identical to the single-process pooled path.
+    Also the decode backend of the live ingest gateway
+    (:mod:`repro.ingest`), which flushes one batch at a time — there,
+    ``B <= batch_size`` and the loop body runs once per flush.
+
+    Task keys: ``config`` (scalar :class:`~repro.config.SystemConfig`
+    fields), ``precision``, ``block``, ``fractions``, ``batch_size``,
+    ``max_iterations``, ``tolerance``.  Returns ``signals`` (``(n, B)``
+    float64, no dc offset), ``iterations`` (``(B,)``) and ``seconds``
+    (``(B,)`` — each column's share of its batch's wall clock).
+    """
+    from ..config import SystemConfig
+
+    config = SystemConfig(**task["config"])
+    solver, transform = _group_resources(config, task["precision"])
+    block = task["block"]
+    fractions = task["fractions"]
+    batch_size = task["batch_size"]
+    total = block.shape[1]
+    signals = np.empty((transform.n, total), dtype=np.float64)
+    iterations = np.zeros(total, dtype=np.int64)
+    seconds = np.zeros(total, dtype=np.float64)
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        started = time.perf_counter()
+        lams = solver.lambdas(block[:, start:stop], fractions[start:stop])
+        result = solver.solve(
+            block[:, start:stop],
+            lams,
+            max_iterations=task["max_iterations"],
+            tolerance=task["tolerance"],
+        )
+        batch_signals = transform.inverse_batch(result.coefficients)
+        share = (time.perf_counter() - started) / (stop - start)
+        signals[:, start:stop] = np.asarray(batch_signals, dtype=np.float64)
+        iterations[start:stop] = result.iterations
+        seconds[start:stop] = share
+    return {"signals": signals, "iterations": iterations, "seconds": seconds}
+
+
+def split_batches(num_batches: int, workers: int) -> list[tuple[int, int]]:
+    """Partition ``num_batches`` solves into contiguous per-worker runs.
+
+    Returns ``(first_batch, last_batch_exclusive)`` index pairs, one
+    per non-empty worker, balanced to within one batch.  Keeping the
+    split at *batch* granularity is what preserves bit-identity: every
+    solve keeps the exact column composition of the unsharded schedule.
+    """
+    if num_batches < 1 or workers < 1:
+        raise ConfigurationError(
+            f"need num_batches >= 1 and workers >= 1, got "
+            f"{num_batches}/{workers}"
+        )
+    workers = min(workers, num_batches)
+    base, excess = divmod(num_batches, workers)
+    spans = []
+    start = 0
+    for index in range(workers):
+        stop = start + base + (1 if index < excess else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
 class FleetDecoder:
     """Pooled decode of many streams with operator-keyed batching.
 
@@ -244,9 +394,15 @@ class FleetDecoder:
         Target solve width; batches are filled *across* a group's
         streams, so ragged per-stream tails merge.
     workers:
-        ``None``, ``0`` or ``1`` decodes in-process (the fallback);
-        ``>= 2`` shards operator groups across a ``multiprocessing``
-        pool of that many workers.
+        ``None``, ``0`` or ``1`` decodes in-process; ``>= 2`` shards
+        the work across a ``multiprocessing`` pool of that many
+        processes — whole operator groups when there are two or more,
+        batch-aligned column slices *within* the group when the whole
+        fleet shares one operator.  A request for ``workers >= 2``
+        still decodes in-process when there is nothing to split (a
+        single group whose windows fit one batch) or when the platform
+        cannot start a pool; either fallback emits one
+        :class:`RuntimeWarning` naming the reason.
     """
 
     def __init__(
@@ -264,12 +420,14 @@ class FleetDecoder:
             )
         self.batch_size = batch_size
         self.workers = workers
-        #: groups scheduled and worker processes actually used by the
-        #: most recent :meth:`run` (1 = in-process) — the engine owns
-        #: the fallback decision, so callers report from here instead
-        #: of re-deriving it
+        #: groups scheduled, worker processes actually used and the
+        #: sharding layout of the most recent :meth:`run` (1 worker =
+        #: in-process) — the engine owns the fallback decision, so
+        #: callers report from here instead of re-deriving it
         self.last_num_groups = 0
         self.last_effective_workers = 1
+        self.last_shard_mode = "in-process"
+        self.last_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[StreamTask]) -> list[StreamResult]:
@@ -285,17 +443,83 @@ class FleetDecoder:
             keys, [len(stream.packets) for stream in encoded], self.batch_size
         )
         self.last_num_groups = len(schedules)
-        self.last_effective_workers = min(
-            self.workers or 1, len(schedules)
-        )
-        if self.last_effective_workers > 1:
-            decodes = self._run_sharded(encoded, schedules)
-        else:
+        mode, effective = self._plan_sharding(schedules)
+
+        decodes: list[_StreamDecode] | None = None
+        if mode == "groups":
+            decodes = self._run_sharded(encoded, schedules, effective)
+        elif mode == "columns":
+            decodes = self._run_column_sharded(encoded, schedules[0], effective)
+        if decodes is None:
+            # either planned in-process, or the pool could not start
+            # (the platform fallback — _pool_map already warned)
+            mode, effective = "in-process", 1
             decodes = self._run_inprocess(encoded, schedules)
+        self.last_shard_mode = mode
+        self.last_effective_workers = effective
         return [
             self._assemble(stream, decode)
             for stream, decode in zip(encoded, decodes)
         ]
+
+    def _plan_sharding(
+        self, schedules: list[GroupSchedule]
+    ) -> tuple[str, int]:
+        """Choose the sharding layout for this run's schedules.
+
+        Returns ``(mode, effective_workers)`` with mode one of
+        ``"in-process"``, ``"groups"`` (partition whole operator
+        groups) or ``"columns"`` (split the single group's pooled
+        column stream).  When sharding was requested but nothing can be
+        split, emits the mandated single-line warning naming the
+        reason and plans in-process.
+        """
+        requested = self.workers or 1
+        self.last_fallback_reason = None
+        if requested < 2:
+            return "in-process", 1
+        if len(schedules) >= 2:
+            return "groups", min(requested, len(schedules))
+        if schedules[0].num_batches >= 2:
+            return "columns", min(requested, schedules[0].num_batches)
+        self.last_fallback_reason = (
+            f"workers={requested} requested but the single operator "
+            f"group's {schedules[0].total_windows} window(s) fit one "
+            f"batch (batch_size={self.batch_size}); nothing to shard"
+        )
+        warnings.warn(
+            f"fleet decode falling back to a single process: "
+            f"{self.last_fallback_reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "in-process", 1
+
+    def _pool_map(self, fn, tasks: list, workers: int) -> list | None:
+        """Map tasks over a fresh pool; ``None`` if no pool can start.
+
+        A platform without working ``multiprocessing`` primitives (no
+        fork/spawn, no POSIX semaphores) raises at pool construction —
+        that is the *platform* fallback: warn once with the underlying
+        error and let :meth:`run` decode in-process instead.
+        """
+        import multiprocessing
+
+        try:
+            pool = multiprocessing.Pool(processes=workers)
+        except (ImportError, OSError, ValueError) as exc:
+            self.last_fallback_reason = (
+                f"multiprocessing pool unavailable on this platform ({exc})"
+            )
+            warnings.warn(
+                f"fleet decode falling back to a single process: "
+                f"{self.last_fallback_reason}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None
+        with pool:
+            return pool.map(fn, tasks, chunksize=1)
 
     # ------------------------------------------------------------------
     def _encode(self, task: StreamTask) -> _EncodedStream:
@@ -360,16 +584,14 @@ class FleetDecoder:
         self,
         encoded: list[_EncodedStream],
         schedules: list[GroupSchedule],
-    ) -> list[_StreamDecode]:
+        workers: int,
+    ) -> list[_StreamDecode] | None:
         """Partition operator groups across a multiprocessing pool.
 
-        Only reached with >= 2 shardable groups — :meth:`run` falls
-        back to the in-process path otherwise, before any packet is
-        serialized.
+        Only reached with >= 2 shardable groups — :meth:`run` plans
+        the column or in-process layout otherwise, before any packet
+        is serialized.  Returns ``None`` when no pool can start.
         """
-        import multiprocessing
-
-        workers = min(self.workers or 1, len(schedules))
         group_tasks = []
         for schedule in schedules:
             members = [encoded[s] for s in schedule.stream_ids]
@@ -393,10 +615,11 @@ class FleetDecoder:
                 }
             )
 
-        with multiprocessing.Pool(processes=workers) as pool:
-            group_outputs = pool.map(
-                _worker_decode_group, group_tasks, chunksize=1
-            )
+        group_outputs = self._pool_map(
+            _worker_decode_group, group_tasks, workers
+        )
+        if group_outputs is None:
+            return None
 
         decodes: list[_StreamDecode | None] = [None] * len(encoded)
         for schedule, outputs in zip(schedules, group_outputs):
@@ -406,6 +629,85 @@ class FleetDecoder:
                     iterations=out["iterations"],
                     decode_seconds=out["decode_seconds"],
                 )
+        assert all(decode is not None for decode in decodes)
+        return decodes  # type: ignore[return-value]
+
+    def _run_column_sharded(
+        self,
+        encoded: list[_EncodedStream],
+        schedule: GroupSchedule,
+        workers: int,
+    ) -> list[_StreamDecode] | None:
+        """Split one group's pooled column stream across the pool.
+
+        The intra-group layout for the paper's fleet shape: every node
+        ships the same fixed matrix, so there is exactly one operator
+        group and group sharding would serialize on one process's
+        BLAS.  Stages 1-2 (stateful, cheap) run in the parent; the
+        pooled ``(m, B)`` measurement block is then cut into
+        batch-aligned contiguous column slices (:func:`split_batches`),
+        one per worker, each solved by :func:`solve_measurement_block`
+        with the worker's seed-rebuilt operator.  Per-batch column
+        composition is identical to the in-process path, so the decoded
+        output is bit-identical.  Returns ``None`` when no pool can
+        start.
+        """
+        members = [encoded[s] for s in schedule.stream_ids]
+        dtype = (
+            np.float32 if members[0].precision == "float32" else np.float64
+        )
+        pooled, fractions, payload_share = _pool_group_columns(
+            [m.task.system.decoder.payload for m in members],
+            [m.packets for m in members],
+            [m.config.lam for m in members],
+            schedule.counts,
+            dtype,
+        )
+
+        spans = list(schedule.batches())
+        column_tasks = []
+        slice_bounds = []
+        for first, last in split_batches(len(spans), workers):
+            col_start, col_stop = spans[first][0], spans[last - 1][1]
+            slice_bounds.append((col_start, col_stop))
+            column_tasks.append(
+                {
+                    "config": dataclasses.asdict(members[0].config),
+                    "precision": members[0].precision,
+                    "block": pooled[:, col_start:col_stop],
+                    "fractions": fractions[col_start:col_stop],
+                    "batch_size": self.batch_size,
+                    "max_iterations": members[0].config.max_iterations,
+                    "tolerance": members[0].config.tolerance,
+                }
+            )
+
+        slice_outputs = self._pool_map(
+            solve_measurement_block, column_tasks, len(column_tasks)
+        )
+        if slice_outputs is None:
+            return None
+
+        n = members[0].config.n
+        outputs = _allocate_stream_outputs(
+            schedule.counts, payload_share, n
+        )
+        dc_offsets = [m.dc_offset for m in members]
+        for (col_start, col_stop), out in zip(slice_bounds, slice_outputs):
+            _scatter_columns(
+                outputs,
+                schedule,
+                col_start,
+                col_stop,
+                out["signals"],
+                out["iterations"],
+                out["seconds"],
+                dc_offsets,
+            )
+
+        decodes: list[_StreamDecode | None] = [None] * len(encoded)
+        for stream_id, out in zip(schedule.stream_ids, outputs):
+            decodes[stream_id] = out
         assert all(decode is not None for decode in decodes)
         return decodes  # type: ignore[return-value]
 

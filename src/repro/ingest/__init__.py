@@ -1,0 +1,60 @@
+"""Live ingestion: asyncio node links feeding the fleet scheduler.
+
+The paper's deployment loop is a body-worn encoder streaming compressed
+ECG over a radio to a monitor that decodes in real time.  The offline
+engines (:mod:`repro.core.batch`, :mod:`repro.fleet`) are fed whole
+pre-read records; this package closes the loop with the *live* wire
+path a telecardiology coordinator actually runs:
+
+- :mod:`~repro.ingest.protocol` — the length-prefixed frame format and
+  JSON handshake a node link speaks (versioned; packet frames carry
+  the exact CRC-protected on-air bytes);
+- :mod:`~repro.ingest.gateway` — :class:`IngestGateway`, the asyncio
+  server: accepts TCP or in-process links, runs the stateful decode
+  stages per stream, pools measurement columns per operator group
+  (same keying as the fleet scheduler), and flushes batched solves on
+  batch-full / idle-deadline / stream-end triggers with per-stream
+  backpressure;
+- :mod:`~repro.ingest.client` — :class:`NodeClient`, the node-side
+  simulator replaying records at true (or accelerated) sample rate.
+
+Decoded output is bit-identical to the offline path: a flushed block
+runs the same :func:`~repro.fleet.engine.solve_measurement_block` the
+column-sharded fleet engine uses, on the same pooled columns.
+"""
+
+from .client import NodeClient, NodeReport, encoded_packets
+from .gateway import (
+    DEFAULT_FLUSH_MS,
+    GatewayStats,
+    IngestGateway,
+    IngestStreamResult,
+    serve_gateway,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameKind,
+    Handshake,
+    encode_frame,
+    encode_json_frame,
+    read_frame,
+)
+
+__all__ = [
+    "DEFAULT_FLUSH_MS",
+    "FrameKind",
+    "GatewayStats",
+    "Handshake",
+    "IngestGateway",
+    "IngestStreamResult",
+    "MAX_FRAME_BYTES",
+    "NodeClient",
+    "NodeReport",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "encode_json_frame",
+    "encoded_packets",
+    "read_frame",
+    "serve_gateway",
+]

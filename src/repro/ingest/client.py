@@ -1,0 +1,175 @@
+"""Node-side link simulator: replay a record into a live gateway.
+
+:class:`NodeClient` plays the role of the paper's body-worn sensor
+node: it encodes a record channel with the unchanged integer encoder
+(packets bit-identical to the offline path by construction), performs
+the wire handshake, and streams ``PACKET`` frames — at the record's
+true sample rate (one window every ``config.packet_seconds``), at an
+accelerated pace, or as fast as the link accepts them.  It concurrently
+consumes the gateway's ``DECODED`` acknowledgements, so a run reports
+the end-to-end per-window decode latency a real monitor would observe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..core.batch import encode_record_windows
+from ..core.packets import EncodedPacket
+from ..core.system import EcgMonitorSystem
+from ..ecg.records import Record
+from ..errors import ProtocolError
+from .protocol import FrameKind, Handshake, decode_json_body, encode_frame, read_frame
+
+
+@dataclass
+class NodeReport:
+    """Outcome of one simulated node's streaming run."""
+
+    record: str
+    channel: int
+    sent: int = 0
+    acked: int = 0
+    error: str | None = None
+    #: gateway-side frame-arrival-to-reconstruction latency per window
+    gateway_latencies_ms: list[float] = field(default_factory=list)
+    #: per-window FISTA iterations reported in the DECODED acks
+    iterations: list[int] = field(default_factory=list)
+
+    @property
+    def max_gateway_latency_ms(self) -> float:
+        """Worst per-window decode latency the gateway reported."""
+        return max(self.gateway_latencies_ms, default=0.0)
+
+
+class NodeClient:
+    """Replay one record channel over a gateway link.
+
+    Parameters
+    ----------
+    system:
+        The node's calibrated encoder/decoder pair; only the encoder
+        and its codebook are used (decoding happens at the gateway).
+    record:
+        The record to stream.
+    channel:
+        ECG lead to encode.
+    max_packets:
+        Cap on streamed windows (``None``: the whole record).
+    interval_s:
+        Pacing between ``PACKET`` frames.  ``None`` replays at the
+        record's true rate (``config.packet_seconds`` — 2 s per window
+        at the paper's operating point); ``0`` streams as fast as the
+        link accepts frames (throughput benchmarking).
+    """
+
+    def __init__(
+        self,
+        system: EcgMonitorSystem,
+        record: Record,
+        channel: int = 0,
+        max_packets: int | None = None,
+        interval_s: float | None = 0.0,
+    ) -> None:
+        self.system = system
+        self.record = record
+        self.channel = channel
+        self.max_packets = max_packets
+        self.interval_s = (
+            system.config.packet_seconds if interval_s is None else interval_s
+        )
+
+    def handshake(self) -> Handshake:
+        """The HELLO this node sends (identity + codec config)."""
+        return Handshake(
+            record=self.record.name,
+            channel=self.channel,
+            config=self.system.config,
+            codebook=self.system.encoder.codebook,
+            precision=self.system.decoder.precision,
+        )
+
+    async def run(self, reader, writer) -> NodeReport:
+        """Stream over an established duplex link; returns the report.
+
+        Raises :class:`~repro.errors.ProtocolError` if the gateway
+        refuses the handshake.
+        """
+        _, packets = encode_record_windows(
+            self.system,
+            self.record,
+            channel=self.channel,
+            max_packets=self.max_packets,
+        )
+        report = NodeReport(record=self.record.name, channel=self.channel)
+
+        writer.write(self.handshake().to_frame())
+        await writer.drain()
+        frame = await read_frame(reader)
+        if frame is None:
+            raise ProtocolError("gateway closed the link before WELCOME")
+        kind, body = frame
+        if kind is FrameKind.ERROR:
+            raise ProtocolError(decode_json_body(body).get("error", "rejected"))
+        if kind is not FrameKind.WELCOME:
+            raise ProtocolError(f"expected WELCOME, got {kind.name}")
+
+        receiver = asyncio.create_task(
+            self._receive(reader, len(packets), report)
+        )
+        try:
+            for index, packet in enumerate(packets):
+                if self.interval_s and index:
+                    await asyncio.sleep(self.interval_s)
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+                await writer.drain()
+                report.sent += 1
+            writer.write(encode_frame(FrameKind.BYE))
+            await writer.drain()
+            await receiver
+        finally:
+            if not receiver.done():
+                receiver.cancel()
+            writer.close()
+            await writer.wait_closed()
+        return report
+
+    async def run_tcp(self, host: str, port: int) -> NodeReport:
+        """Connect over TCP and stream (the CLI/simulation entry)."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return await self.run(reader, writer)
+
+    async def _receive(self, reader, expected: int, report: NodeReport) -> None:
+        """Consume DECODED acks until all windows (or an error) arrive."""
+        while report.acked < expected:
+            frame = await read_frame(reader)
+            if frame is None:
+                break
+            kind, body = frame
+            if kind is FrameKind.DECODED:
+                payload = decode_json_body(body)
+                report.acked += 1
+                report.gateway_latencies_ms.append(
+                    float(payload.get("latency_ms", 0.0))
+                )
+                report.iterations.append(int(payload.get("iterations", 0)))
+            elif kind is FrameKind.ERROR:
+                report.error = decode_json_body(body).get("error", "unknown")
+                break
+
+
+def encoded_packets(
+    system: EcgMonitorSystem,
+    record: Record,
+    channel: int = 0,
+    max_packets: int | None = None,
+) -> list[EncodedPacket]:
+    """The exact packets a :class:`NodeClient` run would put on the
+    wire — the offline reference for equivalence checks."""
+    _, packets = encode_record_windows(
+        system, record, channel=channel, max_packets=max_packets
+    )
+    return packets

@@ -1,0 +1,716 @@
+"""The asyncio ingestion gateway: live node links feeding pooled solves.
+
+:class:`IngestGateway` is the coordinator-side front end the paper's
+deployment implies: many body-worn nodes stream compressed ECG over a
+radio link, and the monitor must decode *all* of them in real time.
+Where :class:`~repro.fleet.FleetDecoder` is fed whole pre-read records,
+the gateway decodes incrementally from whatever links are currently
+connected:
+
+- each accepted connection (TCP, or the in-process loopback used by
+  tests) performs the :class:`~repro.ingest.protocol.Handshake` and
+  then streams ``PACKET`` frames;
+- stages 1-2 (entropy decode, redundancy re-insertion, dequantization
+  — stateful, cheap) run in the session's read loop, in arrival order;
+- the resulting measurement columns are pooled per *operator group*
+  (:func:`~repro.fleet.scheduler.solve_key`), exactly like the offline
+  fleet scheduler: batches fill across whatever streams share the
+  group, so ragged live streams merge into full-width solves;
+- a group flushes when ``batch_size`` columns are pending, when the
+  oldest pending column has waited ``flush_ms`` (so a lone stream
+  still meets the real-time latency budget), or when a stream ends
+  (disconnect or ``BYE``) with columns still pending — a partial batch
+  always decodes;
+- each flushed block is solved by the same
+  :func:`~repro.fleet.engine.solve_measurement_block` the offline
+  column-sharded fleet uses — in a thread when ``workers <= 1``, or
+  across a persistent process pool when ``workers >= 2``, which *is*
+  intra-group sharding: successive batches of one operator group
+  decode concurrently on different cores.
+
+Backpressure is per stream: a session may have at most
+``max_pending`` windows in flight; past that its read loop stops
+pulling frames, which on TCP propagates to the node's socket.  One
+slow stream therefore cannot grow the gateway's memory unboundedly or
+starve its group-mates.
+
+The decoded output is bit-identical to the offline path: every flushed
+block runs the same batched solve the offline engine would run on the
+same columns, and ``benchmarks/bench_ingest_gateway.py`` replays the
+gateway's logged batch compositions through the offline solver to pin
+it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import warnings
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.decoder import PacketPayloadDecoder
+from ..core.packets import EncodedPacket
+from ..errors import (
+    ConfigurationError,
+    DecodingError,
+    PacketFormatError,
+    ProtocolError,
+)
+from ..fleet.engine import solve_measurement_block
+from ..fleet.scheduler import solve_key
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameKind,
+    Handshake,
+    encode_json_frame,
+    read_frame,
+)
+
+#: default flush-on-idle deadline: a pending window never waits longer
+#: than this for batch-mates before decoding.  Chosen well inside the
+#: paper's 2-second real-time budget, leaving room for the solve.
+DEFAULT_FLUSH_MS = 250.0
+
+
+class _LoopbackWriter:
+    """Minimal in-process ``StreamWriter`` stand-in for tests/benches.
+
+    Feeds written bytes straight into the peer's
+    :class:`asyncio.StreamReader`.  ``close()`` delivers EOF to the
+    peer, so an abrupt close mid-frame reproduces a truncated-stream
+    disconnect exactly as a dropped TCP connection would.
+    """
+
+    def __init__(self, peer_reader: asyncio.StreamReader) -> None:
+        self._peer = peer_reader
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if not self._closed:
+            self._peer.feed_data(data)
+
+    async def drain(self) -> None:
+        return None
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._peer.feed_eof()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+    def get_extra_info(self, name: str, default=None):
+        return default
+
+
+@dataclass
+class _PendingWindow:
+    """One dequantized measurement column waiting for a solve."""
+
+    session: "_Session"
+    index: int  # window index within the session
+    sequence: int
+    column: np.ndarray  # (m,) in the group's dtype
+    fraction: float  # the stream's lambda fraction
+    t_submit: float  # loop time at frame arrival (before backpressure)
+    deadline: float  # t_submit + flush interval
+
+
+@dataclass
+class IngestStreamResult:
+    """Everything the gateway retained about one completed stream."""
+
+    session_id: int
+    record: str
+    channel: int
+    clean_close: bool  # BYE received (False: disconnect or error)
+    error: str | None
+    #: window index within the stream, in decode-completion order —
+    #: monotonic for an in-process gateway, possibly interleaved when
+    #: batches decode concurrently on a process pool (the gateway
+    #: re-sorts all per-window lists by this at stream end)
+    indices: list[int] = field(default_factory=list)
+    sequences: list[int] = field(default_factory=list)
+    iterations: list[int] = field(default_factory=list)
+    decode_seconds: list[float] = field(default_factory=list)
+    latencies_s: list[float] = field(default_factory=list)
+    samples_adu: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_windows(self) -> int:
+        """Windows decoded for this stream."""
+        return len(self.sequences)
+
+    @property
+    def max_latency_s(self) -> float:
+        """Worst frame-arrival-to-reconstruction latency observed."""
+        return max(self.latencies_s, default=0.0)
+
+
+@dataclass
+class GatewayStats:
+    """Aggregate counters of one gateway's lifetime."""
+
+    sessions_opened: int = 0
+    sessions_completed: int = 0
+    sessions_errored: int = 0
+    windows_decoded: int = 0
+    batches: int = 0
+    flushes_full: int = 0
+    flushes_deadline: int = 0
+    flushes_drain: int = 0
+    cross_stream_batches: int = 0
+    max_latency_s: float = 0.0
+
+
+class _Session:
+    """Gateway-side state of one connected node link."""
+
+    def __init__(
+        self,
+        session_id: int,
+        handshake: Handshake,
+        writer,
+        max_pending: int,
+    ) -> None:
+        self.id = session_id
+        self.handshake = handshake
+        self.writer = writer
+        self.payload = PacketPayloadDecoder(
+            handshake.config, codebook=handshake.codebook
+        )
+        self.dc_offset = 1 << (handshake.config.adc_bits - 1)
+        self.dtype = (
+            np.float32 if handshake.precision == "float32" else np.float64
+        )
+        self.quota = asyncio.Semaphore(max_pending)
+        self.group: "_GroupPool | None" = None  # set by the gateway
+        self.windows_submitted = 0
+        self.outstanding = 0
+        self.closed = False
+        self.all_done = asyncio.Event()
+        self.result = IngestStreamResult(
+            session_id=session_id,
+            record=handshake.record,
+            channel=handshake.channel,
+            clean_close=False,
+            error=None,
+        )
+
+    def check_done(self) -> None:
+        """Release finalization once every in-flight window decoded."""
+        if self.closed and self.outstanding == 0:
+            self.all_done.set()
+
+
+class _GroupPool:
+    """Pending measurement columns of one operator group."""
+
+    def __init__(self, key: tuple, config, precision: str) -> None:
+        self.key = key
+        self.config = config
+        self.precision = precision
+        self.dtype = np.float32 if precision == "float32" else np.float64
+        self.pending: deque[_PendingWindow] = deque()
+        self.event = asyncio.Event()
+        self.drain_task: asyncio.Task | None = None
+
+    def has_orphans(self) -> bool:
+        """Pending windows whose stream already ended — these must
+        flush now (partial batch) instead of waiting for batch-mates
+        that will never come."""
+        return any(window.session.closed for window in self.pending)
+
+
+class IngestGateway:
+    """Accept live node links and decode them through pooled solves.
+
+    Parameters
+    ----------
+    batch_size:
+        Target solve width; batches fill across every stream currently
+        connected to the same operator group.
+    flush_ms:
+        Flush-on-idle deadline: a pending window decodes at most this
+        many milliseconds after frame arrival even if the batch is not
+        full, so a lone real-time stream is never held hostage to
+        batching.
+    workers:
+        ``None``, ``0`` or ``1`` solves in a thread of this process;
+        ``>= 2`` dispatches flushed blocks to a persistent process
+        pool, decoding successive batches of one operator group
+        concurrently (live intra-group sharding).
+    max_pending:
+        Per-stream backpressure bound: a session stops reading frames
+        while this many of its windows await decoding.  Default
+        ``4 * batch_size``.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 32,
+        flush_ms: float = DEFAULT_FLUSH_MS,
+        workers: int | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if flush_ms <= 0:
+            raise ConfigurationError(
+                f"flush_ms must be positive, got {flush_ms}"
+            )
+        if workers is not None and workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.batch_size = batch_size
+        self.flush_s = flush_ms / 1000.0
+        self.workers = workers if workers else 1
+        self.max_pending = (
+            max_pending if max_pending is not None else 4 * batch_size
+        )
+        self.stats = GatewayStats()
+        #: completed stream results, in session-open order
+        self.results: list[IngestStreamResult] = []
+        #: per-flush composition log: ``(group_key, [(session_id,
+        #: window_index), ...], reason)`` — lets tests and the bench
+        #: replay the exact pooled blocks through the offline solver
+        self.batch_log: list[tuple[tuple, list[tuple[int, int]], str]] = []
+
+        self._groups: dict[tuple, _GroupPool] = {}
+        self._sessions: dict[int, _Session] = {}
+        self._next_session_id = 0
+        self._closing = False
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._solve_tasks: set[asyncio.Task] = set()
+        self._thread_executor: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._inflight: asyncio.Semaphore | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the TCP listener; returns the actual port (``port=0``
+        asks the OS for a free one)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def connect_local(self):
+        """Open an in-process link: returns ``(reader, writer)`` for a
+        node-side client, with the gateway serving the other end.
+
+        The transport for tests and benches: no sockets, same frames,
+        same session code path as TCP.
+        """
+        if self._closing:
+            raise ConfigurationError("gateway is closed")
+        client_reader = asyncio.StreamReader()
+        server_reader = asyncio.StreamReader()
+        client_writer = _LoopbackWriter(server_reader)
+        server_writer = _LoopbackWriter(client_reader)
+        # _handle_connection self-registers in _conn_tasks
+        asyncio.create_task(
+            self._handle_connection(server_reader, server_writer)
+        )
+        return client_reader, client_writer
+
+    async def close(self) -> None:
+        """Stop accepting, drain in-flight work, release executors."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._solve_tasks:
+            await asyncio.gather(*self._solve_tasks, return_exceptions=True)
+        for group in self._groups.values():
+            if group.drain_task is not None:
+                group.drain_task.cancel()
+        drains = [
+            g.drain_task
+            for g in self._groups.values()
+            if g.drain_task is not None
+        ]
+        if drains:
+            await asyncio.gather(*drains, return_exceptions=True)
+        if self._thread_executor is not None:
+            self._thread_executor.shutdown(wait=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        """Serve one node link end to end (both transports)."""
+        # self-register so close() can cancel mid-stream links — TCP
+        # handler tasks are spawned by asyncio.start_server, which does
+        # not hand them to us any other way
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        session: _Session | None = None
+        try:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            kind, body = frame
+            if kind is not FrameKind.HELLO:
+                raise ProtocolError(
+                    f"expected HELLO as the first frame, got {kind.name}"
+                )
+            handshake = Handshake.from_body(body)
+            session = self._register(handshake, writer)
+            self._send_json(
+                session,
+                FrameKind.WELCOME,
+                {"protocol": PROTOCOL_VERSION, "stream_id": session.id},
+            )
+            await writer.drain()
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break  # mid-stream disconnect (no BYE)
+                kind, body = frame
+                if kind is FrameKind.PACKET:
+                    await self._submit(session, body)
+                elif kind is FrameKind.BYE:
+                    session.result.clean_close = True
+                    break
+                else:
+                    raise ProtocolError(
+                        f"unexpected {kind.name} frame from a node"
+                    )
+        except (ProtocolError, PacketFormatError, DecodingError) as exc:
+            self.stats.sessions_errored += 1
+            if session is not None:
+                session.result.error = str(exc)
+            try:
+                writer.write(
+                    encode_json_frame(FrameKind.ERROR, {"error": str(exc)})
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # dropped link or gateway shutdown: finalize below
+        finally:
+            if session is not None:
+                await self._finalize(session)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    def _register(self, handshake: Handshake, writer) -> _Session:
+        """Admit a handshaken link: create its session and group."""
+        session = _Session(
+            self._next_session_id, handshake, writer, self.max_pending
+        )
+        self._next_session_id += 1
+        self._sessions[session.id] = session
+        self.stats.sessions_opened += 1
+        key = solve_key(handshake.config, handshake.precision)
+        if key not in self._groups:
+            group = _GroupPool(key, handshake.config, handshake.precision)
+            group.drain_task = asyncio.create_task(self._drain(group))
+            self._groups[key] = group
+        session.group = self._groups[key]
+        return session
+
+    async def _submit(self, session: _Session, body: bytes) -> None:
+        """Stages 1-2 for one PACKET frame, then pool the column.
+
+        Awaiting the session quota *here* is the backpressure
+        mechanism: while this stream has ``max_pending`` windows in
+        flight, its read loop stops consuming frames.
+        """
+        # latency is "frame arrival to reconstruction" (protocol.py):
+        # stamp before stages 1-2 and before the quota wait, so a
+        # window queued behind backpressure reports its true age
+        arrived = asyncio.get_running_loop().time()
+        packet = EncodedPacket.from_bytes(body)
+        y_q = session.payload.decode_payload(packet)
+        column = session.payload.quantizer.dequantize(y_q).astype(
+            session.dtype
+        )
+        await session.quota.acquire()
+        window = _PendingWindow(
+            session=session,
+            index=session.windows_submitted,
+            sequence=packet.sequence,
+            column=column,
+            fraction=session.handshake.config.lam,
+            t_submit=arrived,
+            deadline=arrived + self.flush_s,
+        )
+        session.windows_submitted += 1
+        session.outstanding += 1
+        group = session.group
+        group.pending.append(window)
+        group.event.set()
+
+    async def _finalize(self, session: _Session) -> None:
+        """Flush the stream's stragglers, then publish its result."""
+        session.closed = True
+        # wake the drain loop: this session's pending windows are now
+        # orphans and must decode as a partial batch (other sessions'
+        # batching is untouched — the orphan check is per window)
+        session.group.event.set()
+        session.check_done()
+        await session.all_done.wait()
+        self._sessions.pop(session.id, None)
+        result = session.result
+        if result.indices != sorted(result.indices):
+            # concurrent batch solves completed out of order: restore
+            # stream order so callers see windows as the node sent them
+            order = np.argsort(result.indices, kind="stable")
+            for name in (
+                "indices",
+                "sequences",
+                "iterations",
+                "decode_seconds",
+                "latencies_s",
+                "samples_adu",
+            ):
+                values = getattr(result, name)
+                setattr(result, name, [values[i] for i in order])
+        self.results.append(result)
+        if session.result.error is None:
+            self.stats.sessions_completed += 1
+
+    # ------------------------------------------------------------------
+    # batching and decode
+    # ------------------------------------------------------------------
+    async def _drain(self, group: _GroupPool) -> None:
+        """Per-group flush loop: full batches, deadlines, drains."""
+        loop = asyncio.get_running_loop()
+        while True:
+            if group.pending:
+                now = loop.time()
+                full = len(group.pending) >= self.batch_size
+                expired = now >= group.pending[0].deadline
+                if full or expired or group.has_orphans():
+                    reason = (
+                        "full"
+                        if full
+                        else ("deadline" if expired else "drain")
+                    )
+                    await self._dispatch(group, reason)
+                    continue
+                timeout = group.pending[0].deadline - now
+            else:
+                timeout = None
+            try:
+                await asyncio.wait_for(group.event.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+            group.event.clear()
+
+    async def _dispatch(self, group: _GroupPool, reason: str) -> None:
+        """Pop up to one batch of pending columns and solve it."""
+        count = min(self.batch_size, len(group.pending))
+        batch = [group.pending.popleft() for _ in range(count)]
+        self.stats.batches += 1
+        setattr(
+            self.stats,
+            f"flushes_{reason}",
+            getattr(self.stats, f"flushes_{reason}") + 1,
+        )
+        if len({w.session.id for w in batch}) > 1:
+            self.stats.cross_stream_batches += 1
+        self.batch_log.append(
+            (group.key, [(w.session.id, w.index) for w in batch], reason)
+        )
+
+        task = {
+            "config": dataclasses.asdict(group.config),
+            "precision": group.precision,
+            "block": np.stack([w.column for w in batch], axis=1),
+            "fractions": np.asarray(
+                [w.fraction for w in batch], dtype=np.float64
+            ),
+            "batch_size": self.batch_size,
+            "max_iterations": group.config.max_iterations,
+            "tolerance": group.config.tolerance,
+        }
+        loop = asyncio.get_running_loop()
+        if self.workers >= 2 and self._process_pool is None:
+            try:
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+                self._inflight = asyncio.Semaphore(self.workers)
+            except (ImportError, OSError, ValueError) as exc:
+                # platform fallback, mirroring FleetDecoder._pool_map:
+                # warn once and solve in-process from here on
+                warnings.warn(
+                    f"ingest gateway falling back to in-process solves: "
+                    f"process pool unavailable on this platform ({exc})",
+                    RuntimeWarning,
+                )
+                self.workers = 1
+        if self.workers >= 2:
+            await self._inflight.acquire()
+            future = loop.run_in_executor(
+                self._process_pool, solve_measurement_block, task
+            )
+            solve = asyncio.create_task(self._route_async(batch, future))
+            self._solve_tasks.add(solve)
+            solve.add_done_callback(self._solve_tasks.discard)
+        else:
+            # the cached BatchedFista workspace is not reentrant:
+            # awaiting the solve here serializes this group's batches
+            if self._thread_executor is None:
+                self._thread_executor = ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix="ingest-solve"
+                )
+            try:
+                out = await loop.run_in_executor(
+                    self._thread_executor, solve_measurement_block, task
+                )
+            except Exception as exc:  # noqa: BLE001 — drain must live on
+                self._fail_batch(batch, exc)
+            else:
+                self._route(batch, out)
+
+    async def _route_async(self, batch, future) -> None:
+        """Await a process-pool solve, then scatter the results."""
+        try:
+            out = await future
+        except Exception as exc:  # noqa: BLE001 — sessions must unblock
+            self._inflight.release()
+            self._fail_batch(batch, exc)
+            return
+        self._inflight.release()
+        self._route(batch, out)
+
+    def _fail_batch(self, batch: list[_PendingWindow], exc: Exception) -> None:
+        """A solve died: unblock its windows so nothing deadlocks.
+
+        Marks every contributing session errored (reported to the node
+        in an ERROR frame), releases the backpressure quota and the
+        outstanding counts — a wedged solve must never leave
+        :meth:`_finalize` (and therefore :meth:`close`) waiting
+        forever.  The drain loop keeps serving other batches.
+        """
+        message = f"decode failed: {exc}"
+        warnings.warn(
+            f"ingest gateway dropped a batch of {len(batch)} window(s): "
+            f"{message}",
+            RuntimeWarning,
+        )
+        for window in batch:
+            session = window.session
+            if session.result.error is None:
+                session.result.error = message
+                self.stats.sessions_errored += 1
+                self._send_json(
+                    session, FrameKind.ERROR, {"error": message}
+                )
+            session.quota.release()
+            session.outstanding -= 1
+            session.check_done()
+
+    def _route(self, batch: list[_PendingWindow], out: dict) -> None:
+        """Scatter one solved block back to its streams, in order."""
+        t_done = asyncio.get_running_loop().time()
+        for column, window in enumerate(batch):
+            session = window.session
+            samples = out["signals"][:, column] + session.dc_offset
+            iterations = int(out["iterations"][column])
+            seconds = float(out["seconds"][column])
+            latency = t_done - window.t_submit
+            result = session.result
+            result.indices.append(window.index)
+            result.sequences.append(window.sequence)
+            result.iterations.append(iterations)
+            result.decode_seconds.append(seconds)
+            result.latencies_s.append(latency)
+            result.samples_adu.append(samples)
+            self.stats.windows_decoded += 1
+            self.stats.max_latency_s = max(
+                self.stats.max_latency_s, latency
+            )
+            self._send_json(
+                session,
+                FrameKind.DECODED,
+                {
+                    "sequence": window.sequence,
+                    "iterations": iterations,
+                    "latency_ms": 1000.0 * latency,
+                },
+            )
+            session.quota.release()
+            session.outstanding -= 1
+            session.check_done()
+
+    #: per-link cap on bytes buffered for unread gateway->node frames;
+    #: past this, acks are dropped rather than queued without bound
+    ACK_BUFFER_LIMIT = 1 << 20
+
+    def _send_json(
+        self, session: _Session, kind: FrameKind, payload: dict
+    ) -> None:
+        """Best-effort frame to a node; dropped links are tolerated.
+
+        Acks are advisory: a node that streams packets but never reads
+        its socket must not grow the gateway's send buffer without
+        bound, so once a link's transport holds
+        :data:`ACK_BUFFER_LIMIT` unread bytes further frames to it are
+        dropped (decoding and results are unaffected).
+        """
+        writer = session.writer
+        try:
+            transport = getattr(writer, "transport", None)
+            if (
+                transport is not None
+                and transport.get_write_buffer_size() > self.ACK_BUFFER_LIMIT
+            ):
+                return
+            writer.write(encode_json_frame(kind, payload))
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+async def serve_gateway(
+    gateway: IngestGateway, host: str = "127.0.0.1", port: int = 9765
+) -> None:
+    """Run a gateway's TCP listener until cancelled."""
+    await gateway.start(host, port)
+    try:
+        await asyncio.Event().wait()  # serve until cancelled
+    finally:
+        await gateway.close()
+
+
+__all__ = [
+    "DEFAULT_FLUSH_MS",
+    "GatewayStats",
+    "IngestGateway",
+    "IngestStreamResult",
+    "serve_gateway",
+]

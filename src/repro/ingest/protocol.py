@@ -1,0 +1,250 @@
+"""Length-prefixed wire protocol of the live ingestion gateway.
+
+A node link is a single duplex byte stream (TCP, or the in-process
+loopback used by tests) carrying *frames*::
+
+    frame := u32be body_length | u8 kind | body[body_length - 1]
+
+The length prefix counts the kind byte plus the body, so a receiver
+always knows exactly how many bytes to wait for; a stream that ends
+mid-frame is a *truncated frame* and raises
+:class:`~repro.errors.ProtocolError`.  A stream that ends cleanly on a
+frame boundary is an orderly EOF (``read_frame`` returns ``None``).
+
+Node -> gateway frames
+======================
+
+``HELLO``
+    First frame on every link: a JSON :class:`Handshake` carrying the
+    protocol version, the stream identity (record name, lead/channel),
+    the full scalar codec configuration (the
+    :class:`~repro.config.SystemConfig` fields — including the sensing
+    seed the gateway needs to rebuild ``Phi``) and the node's trained
+    Huffman codebook (canonical lengths only).  An unsupported
+    ``protocol`` version or malformed config is answered with an
+    ``ERROR`` frame and the link is closed.
+``PACKET``
+    One encoded 2-second window, as the exact on-air bytes of
+    :meth:`~repro.core.packets.EncodedPacket.to_bytes` (sync byte,
+    header, payload, CRC-16).  The gateway CRC-checks and decodes it
+    incrementally.
+``BYE``
+    Orderly end of stream: the gateway flushes the stream's pending
+    windows, finishes decoding, and closes the link.
+
+Gateway -> node frames
+======================
+
+``WELCOME``
+    Handshake accepted; JSON body echoes the protocol version and the
+    gateway-assigned stream id.
+``DECODED``
+    One window left the solver: JSON with the packet ``sequence``,
+    FISTA ``iterations`` and the gateway-side ``latency_ms`` from
+    frame arrival to reconstruction.  Lets a node (or the bench
+    harness) observe end-to-end decode latency without a side channel.
+``ERROR``
+    JSON ``{"error": reason}``; the gateway closes the link after
+    sending it.
+
+Framing deliberately carries no per-frame CRC of its own: ``PACKET``
+bodies are already CRC-16-protected by the on-air format, and the
+transport (TCP) is reliable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from ..coding import Codebook
+from ..config import SystemConfig
+from ..errors import CodebookError, ConfigurationError, ProtocolError
+
+#: Protocol revision spoken by this module.  A gateway refuses any
+#: other value in the handshake: codec semantics (packet format,
+#: codebook serialization, config fields) are pinned per revision.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's length prefix.  A 2-second window at the
+#: paper's operating point is ~1 kB on the wire and a handshake is a
+#: few kB of JSON; anything near a megabyte is a corrupt or hostile
+#: length prefix and is rejected before allocation.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH_BYTES = 4
+
+
+class FrameKind(IntEnum):
+    """Frame type tags (one byte on the wire)."""
+
+    HELLO = 1
+    PACKET = 2
+    BYE = 3
+    WELCOME = 10
+    DECODED = 11
+    ERROR = 12
+
+
+def encode_frame(kind: FrameKind, body: bytes = b"") -> bytes:
+    """Serialize one frame: length prefix, kind byte, body."""
+    length = 1 + len(body)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return length.to_bytes(_LENGTH_BYTES, "big") + bytes([int(kind)]) + body
+
+
+def encode_json_frame(kind: FrameKind, payload: dict[str, Any]) -> bytes:
+    """Serialize a frame whose body is a JSON object."""
+    return encode_frame(kind, json.dumps(payload).encode("utf-8"))
+
+
+def decode_json_body(body: bytes) -> dict[str, Any]:
+    """Parse a JSON frame body into a dict, with protocol-level errors."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"JSON frame body must be an object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[FrameKind, bytes] | None:
+    """Read one frame; ``None`` on orderly EOF at a frame boundary.
+
+    Raises :class:`~repro.errors.ProtocolError` on a truncated frame
+    (EOF inside the length prefix or body), an oversized length prefix,
+    an empty frame, or an unknown frame kind.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError(
+            f"truncated frame: EOF after {len(exc.partial)} of "
+            f"{_LENGTH_BYTES} length-prefix bytes"
+        ) from exc
+    length = int.from_bytes(prefix, "big")
+    if length < 1:
+        raise ProtocolError("empty frame: length prefix must be >= 1")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"truncated frame: EOF after {len(exc.partial)} of "
+            f"{length} body bytes"
+        ) from exc
+    try:
+        kind = FrameKind(payload[0])
+    except ValueError as exc:
+        raise ProtocolError(f"unknown frame kind {payload[0]}") from exc
+    return kind, payload[1:]
+
+
+@dataclass(frozen=True)
+class Handshake:
+    """The ``HELLO`` payload: everything the gateway needs to decode.
+
+    Attributes
+    ----------
+    record:
+        Name of the record the node is streaming (stream identity).
+    channel:
+        ECG lead index within the record (stream identity).
+    config:
+        The node's full codec configuration.  Carries the sensing seed
+        and matrix shape (``n``, ``m``, ``d``) the gateway needs to
+        rebuild ``A = Phi Psi^-1``, the wavelet basis, and the solver
+        stopping parameters that define the stream's operator group.
+    codebook:
+        The node's trained Huffman codebook, or ``None`` for the
+        default (untrained) codebook.  Serialized as canonical code
+        lengths — the same kilobyte-scale table the mote's flash holds.
+    precision:
+        Decode precision the node requests (``"float64"``/``"float32"``).
+    """
+
+    record: str
+    channel: int
+    config: SystemConfig
+    codebook: Codebook | None = None
+    precision: str = "float64"
+
+    def to_payload(self) -> dict[str, Any]:
+        """Build the JSON-safe ``HELLO`` body (includes the version)."""
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "record": self.record,
+            "channel": int(self.channel),
+            "config": dataclasses.asdict(self.config),
+            "codebook": (
+                None
+                if self.codebook is None
+                else json.loads(self.codebook.to_json())
+            ),
+            "precision": self.precision,
+        }
+
+    def to_frame(self) -> bytes:
+        """Serialize the complete ``HELLO`` frame."""
+        return encode_json_frame(FrameKind.HELLO, self.to_payload())
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Handshake":
+        """Parse and validate a ``HELLO`` body.
+
+        Raises :class:`~repro.errors.ProtocolError` on an unsupported
+        protocol version, a malformed or invalid codec config, a bad
+        codebook table, or a bad precision — the gateway reports the
+        message back to the node in an ``ERROR`` frame.
+        """
+        payload = decode_json_body(body)
+        version = payload.get("protocol")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version!r} "
+                f"(gateway speaks {PROTOCOL_VERSION})"
+            )
+        try:
+            record = str(payload["record"])
+            channel = int(payload["channel"])
+            config = SystemConfig(**payload["config"])
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise ProtocolError(f"invalid handshake config: {exc}") from exc
+        codebook_payload = payload.get("codebook")
+        codebook = None
+        if codebook_payload is not None:
+            try:
+                codebook = Codebook.from_json(json.dumps(codebook_payload))
+            except CodebookError as exc:
+                raise ProtocolError(
+                    f"invalid handshake codebook: {exc}"
+                ) from exc
+        precision = payload.get("precision", "float64")
+        if precision not in ("float64", "float32"):
+            raise ProtocolError(
+                f"invalid handshake precision {precision!r}"
+            )
+        return cls(
+            record=record,
+            channel=channel,
+            config=config,
+            codebook=codebook,
+            precision=precision,
+        )

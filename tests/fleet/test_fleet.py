@@ -238,20 +238,89 @@ class TestShardedExecutor:
                 a.reconstructed_adu, b.reconstructed_adu
             )
 
-    def test_single_group_falls_back_inprocess(self, small_config, database):
-        """One group cannot shard; the engine skips the pool entirely."""
+    def test_single_group_shards_columns(self, small_config, database):
+        """One operator group shards *within* the group: the pooled
+        column stream splits into batch-aligned slices across workers,
+        bit-identical to the in-process pooled decode."""
         record = database.load("100")
-        tasks = [
-            StreamTask(EcgMonitorSystem(small_config), record, max_packets=3)
+        tasks_of = lambda: [
+            StreamTask(
+                EcgMonitorSystem(small_config), record, max_packets=5,
+                keep_signals=True,
+            )
+            for _ in range(2)
         ]
         engine = FleetDecoder(batch_size=2, workers=4)
-        results = engine.run(tasks)
+        sharded = engine.run(tasks_of())
         assert engine.last_num_groups == 1
+        assert engine.last_shard_mode == "columns"
+        # 10 pooled windows, batch 2 -> 5 batches over 4 workers
+        assert engine.last_effective_workers == 4
+        inprocess = FleetDecoder(batch_size=2).run(tasks_of())
+        for a, b in zip(inprocess, sharded):
+            assert [p.iterations for p in a.packets] == [
+                p.iterations for p in b.packets
+            ]
+            np.testing.assert_array_equal(
+                a.reconstructed_adu, b.reconstructed_adu
+            )
+            _assert_stream_equivalent(
+                b, _serial_reference(small_config, record, max_packets=5)
+            )
+
+    def test_column_shard_ragged_tail_spans_streams(
+        self, small_config, database
+    ):
+        """Batch-aligned slicing keeps cross-stream batches intact:
+        with 3+2 windows and batch 2, the middle batch mixes streams
+        and lands whole on one worker."""
+        records = [database.load("100"), database.load("119")]
+        systems = [EcgMonitorSystem(small_config) for _ in records]
+        limits = (3, 2)
+        tasks = [
+            StreamTask(system, record, max_packets=limit)
+            for system, record, limit in zip(systems, records, limits)
+        ]
+        engine = FleetDecoder(batch_size=2, workers=2)
+        results = engine.run(tasks)
+        assert engine.last_shard_mode == "columns"
+        for record, limit, fleet_result in zip(records, limits, results):
+            _assert_stream_equivalent(
+                fleet_result,
+                _serial_reference(small_config, record, max_packets=limit),
+            )
+
+    def test_single_batch_falls_back_with_warning(
+        self, small_config, database
+    ):
+        """Nothing to shard (one group, one batch): the engine decodes
+        in-process and says why instead of staying silent."""
+        record = database.load("100")
+        tasks = [
+            StreamTask(EcgMonitorSystem(small_config), record, max_packets=2)
+        ]
+        engine = FleetDecoder(batch_size=8, workers=4)
+        with pytest.warns(RuntimeWarning, match="nothing to shard"):
+            results = engine.run(tasks)
+        assert engine.last_num_groups == 1
+        assert engine.last_shard_mode == "in-process"
         assert engine.last_effective_workers == 1  # reported, not requested
+        assert engine.last_fallback_reason is not None
         _assert_stream_equivalent(
             results[0],
-            _serial_reference(small_config, record, max_packets=3),
+            _serial_reference(small_config, record, max_packets=2),
         )
+
+    def test_split_batches_layout(self):
+        from repro.fleet import split_batches
+
+        assert split_batches(5, 2) == [(0, 3), (3, 5)]
+        assert split_batches(2, 4) == [(0, 1), (1, 2)]
+        assert split_batches(6, 3) == [(0, 2), (2, 4), (4, 6)]
+        with pytest.raises(ConfigurationError):
+            split_batches(0, 2)
+        with pytest.raises(ConfigurationError):
+            split_batches(3, 0)
 
     def test_run_reports_effective_sharding(self, small_config, database):
         record = database.load("100")
@@ -263,6 +332,7 @@ class TestShardedExecutor:
         engine = FleetDecoder(batch_size=2, workers=2)
         engine.run(tasks)
         assert engine.last_num_groups == 2
+        assert engine.last_shard_mode == "groups"
         assert engine.last_effective_workers == 2
 
     def test_non_lead_streams_skip_operator_build(

@@ -1,0 +1,564 @@
+"""Gateway behavior: pooling, flush triggers, faults, backpressure.
+
+Each test drives a real :class:`~repro.ingest.IngestGateway` over the
+in-process loopback transport (same session code path as TCP) inside
+``asyncio.run``; the decoded output is pinned against the serial
+per-stream reference exactly like the fleet tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EcgMonitorSystem
+from repro.errors import ConfigurationError
+from repro.ingest import (
+    FrameKind,
+    Handshake,
+    IngestGateway,
+    NodeClient,
+    encode_frame,
+    encode_json_frame,
+    encoded_packets,
+    read_frame,
+)
+
+
+def _system(config, record):
+    system = EcgMonitorSystem(config)
+    system.calibrate(record)
+    return system
+
+
+def _serial_reference(system, record, max_packets):
+    """Fresh serial decode with the node's codebook (ground truth)."""
+    reference = EcgMonitorSystem(system.config)
+    reference.encoder.codebook = system.encoder.codebook
+    reference.decoder.codebook = system.encoder.codebook
+    return reference.stream(
+        record, max_packets=max_packets, keep_signals=True
+    )
+
+
+def _assert_matches_serial(result, serial):
+    """Same solver trajectory and reconstruction as the serial path."""
+    assert result.iterations == [p.iterations for p in serial.packets]
+    np.testing.assert_allclose(
+        np.concatenate(result.samples_adu),
+        serial.reconstructed_adu,
+        atol=1e-7,
+    )
+
+
+async def _drain_sessions(gateway):
+    """Wait for every connection handler to finish."""
+    while gateway._conn_tasks:
+        await asyncio.gather(
+            *list(gateway._conn_tasks), return_exceptions=True
+        )
+
+
+class TestPooledDecode:
+    def test_two_clients_share_one_operator_group(
+        self, small_config, database
+    ):
+        """Same seed + basis => one group; a batch spans both streams
+        and each stream still decodes exactly like its serial run."""
+        records = [database.load("100"), database.load("119")]
+        systems = [_system(small_config, record) for record in records]
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=5000.0)
+            links = [gateway.connect_local() for _ in systems]
+            # interleave by hand: one window from each stream, then the
+            # batch of 2 must mix the two sessions
+            writers = []
+            for (reader, writer), system, record in zip(
+                links, systems, records
+            ):
+                writer.write(
+                    Handshake(
+                        record=record.name,
+                        channel=0,
+                        config=system.config,
+                        codebook=system.encoder.codebook,
+                    ).to_frame()
+                )
+                writers.append(writer)
+            packets = [
+                encoded_packets(system, record, max_packets=2)
+                for system, record in zip(systems, records)
+            ]
+            for window in range(2):
+                for writer, stream_packets in zip(writers, packets):
+                    writer.write(
+                        encode_frame(
+                            FrameKind.PACKET,
+                            stream_packets[window].to_bytes(),
+                        )
+                    )
+                    await asyncio.sleep(0.01)  # let the session pool it
+            for writer in writers:
+                writer.write(encode_frame(FrameKind.BYE))
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert len(gateway._groups) == 1
+        assert gateway.stats.cross_stream_batches >= 1
+        assert gateway.stats.windows_decoded == 4
+        results = sorted(gateway.results, key=lambda r: r.session_id)
+        for system, record, result in zip(systems, records, results):
+            assert result.clean_close
+            _assert_matches_serial(
+                result, _serial_reference(system, record, max_packets=2)
+            )
+
+    def test_distinct_seeds_form_distinct_groups(
+        self, small_config, database
+    ):
+        record = database.load("100")
+        other_config = small_config.replace(seed=small_config.seed + 1)
+        systems = [
+            _system(small_config, record),
+            _system(other_config, record),
+        ]
+
+        async def run():
+            gateway = IngestGateway(batch_size=4, flush_ms=100.0)
+            clients = [
+                NodeClient(system, record, max_packets=2, interval_s=0.0)
+                for system in systems
+            ]
+            links = [gateway.connect_local() for _ in clients]
+            await asyncio.gather(
+                *[
+                    client.run(reader, writer)
+                    for client, (reader, writer) in zip(clients, links)
+                ]
+            )
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert len(gateway._groups) == 2
+        assert gateway.stats.windows_decoded == 4
+        for system, result in zip(
+            systems, sorted(gateway.results, key=lambda r: r.session_id)
+        ):
+            _assert_matches_serial(
+                result, _serial_reference(system, record, max_packets=2)
+            )
+
+    def test_flush_on_idle_deadline(self, small_config, database):
+        """A lone stream with a part-filled batch decodes within the
+        flush deadline instead of waiting for batch-mates forever: the
+        link stays open (no BYE, no disconnect), so only the deadline
+        can trigger the flush."""
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=3)
+
+        async def run():
+            gateway = IngestGateway(batch_size=64, flush_ms=50.0)
+            reader, writer = gateway.connect_local()
+            writer.write(
+                Handshake(
+                    record=record.name,
+                    channel=0,
+                    config=system.config,
+                    codebook=system.encoder.codebook,
+                ).to_frame()
+            )
+            for packet in packets:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            decoded = []
+            while len(decoded) < 3:  # deadline-flushed DECODED acks
+                frame = await asyncio.wait_for(
+                    read_frame(reader), timeout=30.0
+                )
+                assert frame is not None
+                kind, body = frame
+                if kind is FrameKind.DECODED:
+                    decoded.append(json.loads(body))
+            writer.write(encode_frame(FrameKind.BYE))
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, decoded
+
+        gateway, decoded = asyncio.run(run())
+        assert gateway.stats.flushes_deadline >= 1
+        assert gateway.stats.windows_decoded == 3
+        assert all(entry["latency_ms"] > 0.0 for entry in decoded)
+        _assert_matches_serial(
+            gateway.results[0],
+            _serial_reference(system, record, max_packets=3),
+        )
+
+    def test_process_pool_workers_match_serial(
+        self, small_config, database
+    ):
+        """Live intra-group sharding: batches of one operator group
+        decode on a process pool, trajectories identical to serial."""
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(
+                batch_size=2, flush_ms=100.0, workers=2
+            )
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system, record, max_packets=4, interval_s=0.0
+            )
+            report = await asyncio.wait_for(
+                client.run(reader, writer), timeout=120.0
+            )
+            await gateway.close()
+            return gateway, report
+
+        gateway, report = asyncio.run(run())
+        assert report.acked == 4
+        result = gateway.results[0]
+        assert result.indices == [0, 1, 2, 3]  # re-sorted if needed
+        _assert_matches_serial(
+            result, _serial_reference(system, record, max_packets=4)
+        )
+
+    def test_gateway_validation(self):
+        with pytest.raises(ConfigurationError):
+            IngestGateway(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            IngestGateway(flush_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            IngestGateway(workers=-1)
+        with pytest.raises(ConfigurationError):
+            IngestGateway(max_pending=0)
+
+
+class TestFaults:
+    def _hello_frame(self, system, record):
+        return Handshake(
+            record=record.name,
+            channel=0,
+            config=system.config,
+            codebook=system.encoder.codebook,
+        ).to_frame()
+
+    def test_mid_stream_disconnect_flushes_partial_batch(
+        self, small_config, database
+    ):
+        """A dropped link's pending windows still decode: the partial
+        batch drains instead of rotting in the pool."""
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=4)
+
+        async def run():
+            # batch far larger than what arrives + long deadline: only
+            # the disconnect drain can flush these two windows
+            gateway = IngestGateway(batch_size=64, flush_ms=60_000.0)
+            reader, writer = gateway.connect_local()
+            writer.write(self._hello_frame(system, record))
+            for packet in packets[:2]:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            await asyncio.sleep(0.05)  # let the session pool them
+            writer.close()  # abrupt: no BYE
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert gateway.stats.flushes_drain >= 1
+        assert len(gateway.results) == 1
+        result = gateway.results[0]
+        assert not result.clean_close
+        assert result.error is None
+        assert result.num_windows == 2
+        serial = _serial_reference(system, record, max_packets=2)
+        _assert_matches_serial(result, serial)
+
+    def test_truncated_frame_mid_stream(self, small_config, database):
+        """EOF inside a frame is a protocol error: the session errors
+        out, the client is told, and completed windows are kept."""
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=2)
+
+        async def run():
+            gateway = IngestGateway(batch_size=1, flush_ms=100.0)
+            reader, writer = gateway.connect_local()
+            writer.write(self._hello_frame(system, record))
+            writer.write(
+                encode_frame(FrameKind.PACKET, packets[0].to_bytes())
+            )
+            # a frame announcing 500 body bytes, delivering 10
+            writer.write((500).to_bytes(4, "big") + b"\x02" + b"x" * 10)
+            await asyncio.sleep(0.05)
+            writer.close()
+            frames = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                frames.append(frame)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, frames
+
+        gateway, frames = asyncio.run(run())
+        assert gateway.stats.sessions_errored == 1
+        kinds = [kind for kind, _ in frames]
+        assert kinds[0] is FrameKind.WELCOME
+        assert FrameKind.ERROR in kinds
+        error_body = json.loads(
+            [body for kind, body in frames if kind is FrameKind.ERROR][0]
+        )
+        assert "truncated frame" in error_body["error"]
+        # the window decoded before the fault is retained
+        result = gateway.results[0]
+        assert result.error is not None
+        assert result.num_windows == 1
+
+    def test_unknown_protocol_version_rejected(
+        self, small_config, database
+    ):
+        """The handshake's codec version gate: a node speaking an
+        unknown revision gets a reasoned ERROR, not silence."""
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=100.0)
+            reader, writer = gateway.connect_local()
+            payload = Handshake(
+                record=record.name, channel=0, config=system.config
+            ).to_payload()
+            payload["protocol"] = 99
+            writer.write(encode_json_frame(FrameKind.HELLO, payload))
+            frame = await read_frame(reader)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, frame
+
+        gateway, frame = asyncio.run(run())
+        kind, body = frame
+        assert kind is FrameKind.ERROR
+        assert "unsupported protocol version" in json.loads(body)["error"]
+        assert gateway.stats.sessions_errored == 1
+        assert gateway.results == []  # never admitted
+
+    def test_corrupt_packet_crc_rejected(self, small_config, database):
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=1)
+        wire = bytearray(packets[0].to_bytes())
+        wire[-1] ^= 0xFF  # break the CRC
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=100.0)
+            reader, writer = gateway.connect_local()
+            writer.write(self._hello_frame(system, record))
+            writer.write(encode_frame(FrameKind.PACKET, bytes(wire)))
+            frames = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                frames.append(frame)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, frames
+
+        gateway, frames = asyncio.run(run())
+        assert gateway.stats.sessions_errored == 1
+        error_body = json.loads(
+            [body for kind, body in frames if kind is FrameKind.ERROR][0]
+        )
+        assert "CRC" in error_body["error"]
+
+    def test_zero_packet_close_leaves_group_batching_alone(
+        self, small_config, database
+    ):
+        """A session that says HELLO and leaves without streaming must
+        not force other streams' pending windows into early partial
+        flushes — the stream-end drain is scoped to the closing
+        stream's own windows."""
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=2)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=60_000.0)
+            keeper_reader, keeper = gateway.connect_local()
+            keeper.write(self._hello_frame(system, record))
+            keeper.write(
+                encode_frame(FrameKind.PACKET, packets[0].to_bytes())
+            )
+            await asyncio.sleep(0.05)  # window pooled, batch half full
+            # a second node joins the group and leaves with no packets
+            ghost_reader, ghost = gateway.connect_local()
+            ghost.write(self._hello_frame(system, record))
+            ghost.write(encode_frame(FrameKind.BYE))
+            await asyncio.sleep(0.1)
+            flushed_early = gateway.stats.batches
+            # the keeper's second window completes the batch normally
+            keeper.write(
+                encode_frame(FrameKind.PACKET, packets[1].to_bytes())
+            )
+            keeper.write(encode_frame(FrameKind.BYE))
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, flushed_early
+
+        gateway, flushed_early = asyncio.run(run())
+        assert flushed_early == 0  # ghost close triggered no flush
+        assert gateway.stats.flushes_full == 1
+        assert gateway.stats.windows_decoded == 2
+
+    def test_solve_failure_unblocks_sessions(
+        self, small_config, database, monkeypatch
+    ):
+        """A dying solve must not wedge the gateway: its windows are
+        failed, the node gets an ERROR, and close() still returns."""
+        import repro.ingest.gateway as gateway_module
+
+        def exploding_solve(task):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(
+            gateway_module, "solve_measurement_block", exploding_solve
+        )
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=2)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=100.0)
+            reader, writer = gateway.connect_local()
+            writer.write(self._hello_frame(system, record))
+            for packet in packets:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            writer.write(encode_frame(FrameKind.BYE))
+            with pytest.warns(RuntimeWarning, match="dropped a batch"):
+                await asyncio.wait_for(_drain_sessions(gateway), timeout=30.0)
+                await asyncio.wait_for(gateway.close(), timeout=30.0)
+            frames = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                frames.append(frame)
+            return gateway, frames
+
+        gateway, frames = asyncio.run(run())
+        assert gateway.stats.sessions_errored == 1
+        assert gateway.stats.windows_decoded == 0
+        result = gateway.results[0]
+        assert result.error is not None and "kaboom" in result.error
+        error_bodies = [
+            json.loads(body)
+            for kind, body in frames
+            if kind is FrameKind.ERROR
+        ]
+        assert error_bodies and "kaboom" in error_bodies[0]["error"]
+
+    def test_packet_before_hello_rejected(self, small_config, database):
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=1)
+
+        async def run():
+            gateway = IngestGateway()
+            reader, writer = gateway.connect_local()
+            writer.write(
+                encode_frame(FrameKind.PACKET, packets[0].to_bytes())
+            )
+            frame = await read_frame(reader)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return frame
+
+        kind, body = asyncio.run(run())
+        assert kind is FrameKind.ERROR
+        assert "expected HELLO" in json.loads(body)["error"]
+
+
+class TestBackpressure:
+    def test_quota_bounds_batch_contributions(
+        self, small_config, database
+    ):
+        """With max_pending=2 no flush can hold more than 2 windows of
+        one stream, yet the paced deadline flushes keep the stream
+        live end to end."""
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(
+                batch_size=64, flush_ms=40.0, max_pending=2
+            )
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system, record, max_packets=6, interval_s=0.0
+            )
+            report = await asyncio.wait_for(
+                client.run(reader, writer), timeout=60.0
+            )
+            await gateway.close()
+            return gateway, report
+
+        gateway, report = asyncio.run(run())
+        assert report.acked == 6
+        assert gateway.stats.windows_decoded == 6
+        for _key, members, _reason in gateway.batch_log:
+            assert len(members) <= 2  # quota held the pool to 2 windows
+        _assert_matches_serial(
+            gateway.results[0],
+            _serial_reference(system, record, max_packets=6),
+        )
+
+
+class TestTcpTransport:
+    def test_tcp_roundtrip(self, small_config, database):
+        """The same session logic over a real socket."""
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=100.0)
+            port = await gateway.start("127.0.0.1", 0)
+            client = NodeClient(
+                system, record, max_packets=3, interval_s=0.0
+            )
+            report = await asyncio.wait_for(
+                client.run_tcp("127.0.0.1", port), timeout=60.0
+            )
+            # TCP handler tasks are owned by the server; wait for the
+            # result to be published before closing
+            for _ in range(200):
+                if gateway.results:
+                    break
+                await asyncio.sleep(0.01)
+            await gateway.close()
+            return gateway, report
+
+        gateway, report = asyncio.run(run())
+        assert report.acked == 3
+        assert report.error is None
+        assert report.max_gateway_latency_ms > 0.0
+        _assert_matches_serial(
+            gateway.results[0],
+            _serial_reference(system, record, max_packets=3),
+        )

@@ -56,21 +56,23 @@ class TestCli:
         assert "2 operator group(s)" in captured
         assert "2 workers" in captured
 
-    def test_fleet_workers_without_groups_reports_single_process(
+    def test_fleet_workers_without_shardable_work_reports_and_warns(
         self, capsys
     ):
-        """One operator group cannot shard; the mode string must say
-        what actually ran, not what was requested."""
-        code = main(
-            [
-                "fleet",
-                "--streams", "2",
-                "--packets", "2",
-                "--duration", "12",
-                "--batch-size", "4",
-                "--fleet-workers", "4",
-            ]
-        )
+        """One group, one batch: nothing to shard.  The mode string
+        must say what actually ran, and the engine must emit one
+        warning naming the reason instead of staying silent."""
+        with pytest.warns(RuntimeWarning, match="nothing to shard"):
+            code = main(
+                [
+                    "fleet",
+                    "--streams", "2",
+                    "--packets", "2",
+                    "--duration", "12",
+                    "--batch-size", "4",
+                    "--fleet-workers", "4",
+                ]
+            )
         captured = capsys.readouterr().out
         assert code == 0
         assert "single process" in captured
@@ -85,6 +87,32 @@ class TestCli:
         assert main(["fleet", "--batch-size", "0"]) == 2
         assert main(["fleet", "--fleet-workers", "-1"]) == 2
         assert main(["fleet", "--groups", "0"]) == 2
+
+    def test_serve_simulate_runs_gateway_over_tcp(self, capsys):
+        """serve --simulate: real TCP listener, N node clients, one
+        latency table, clean exit."""
+        code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--simulate", "2",
+                "--packets", "2",
+                "--batch-size", "2",
+                "--flush-ms", "150",
+                "--interval-ms", "20",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "live gateway: 2 nodes over TCP" in captured
+        assert "max_latency_ms" in captured
+        assert "4 windows" in captured  # 2 nodes x 2 windows, all decoded
+
+    def test_serve_invalid_parameters_exit_cleanly(self, capsys):
+        assert main(["serve", "--simulate", "-1"]) == 2
+        assert main(["serve", "--simulate", "1", "--packets", "0"]) == 2
+        assert main(["serve", "--batch-size", "0"]) == 2
+        assert main(["serve", "--flush-ms", "0"]) == 2
 
     def test_sweep_fig7(self, capsys):
         code = main(
