@@ -153,7 +153,11 @@ def _assert_offline_equivalence(gateway, systems, records, windows):
     the client list order.
     """
     assert len(gateway.results) == len(systems)
-    by_record = {result.record: result for result in gateway.results}
+    # ordered(): stream order even if pooled batches completed out of
+    # order (finalize normalizes, this keeps the contract explicit)
+    by_record = {
+        result.record: result.ordered() for result in gateway.results
+    }
     for system, record in zip(systems, records):
         result = by_record[record.name]
         serial = _serial_reference(system, record, max_packets=windows)

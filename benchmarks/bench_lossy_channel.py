@@ -1,0 +1,469 @@
+"""Lossy-channel resilience of the live wire path (PR 4 tentpole).
+
+Pins the gateway's sequence-gap recovery contract end to end, with a
+real :class:`~repro.ingest.LossyLink` impairing each node's frames:
+
+1. **Clean channel unchanged.**  With no impairment (and with a
+   zero-rate ``LossyLink`` in the path, proving the wrapper is a pure
+   pass-through) every window decodes, every damage counter is zero,
+   iteration trajectories equal the serial reference, and replaying
+   the gateway's logged batch compositions through the offline solver
+   reproduces the output bit for bit — PR 3's equivalence contract is
+   untouched.
+
+2. **Bounded, accounted damage.**  At p = 1-5 % iid frame loss (and
+   under a mixed drop/reorder/duplicate/corrupt channel), every
+   stream satisfies, exactly:
+
+   - *conservation*: ``accepted + windows_lost + windows_resynced ==
+     windows_sent`` — no window leaves the books;
+   - *bound*: ``windows_lost + windows_resynced <= loss_events *
+     keyframe_interval`` — one loss event can orphan at most the
+     difference chain up to the next keyframe;
+   - *agreement*: the gateway's accepted sequences and accounting
+     equal :func:`~repro.ingest.replay_survivors` run offline over
+     the link's recorded delivered-frame sequence.
+
+3. **Delivered windows undamaged.**  Delivered-window output is
+   bit-identical to an offline :func:`solve_measurement_block` decode
+   of the same surviving packet set (batch-composition replay), and
+   each delivered window's PRD equals the clean-channel run's PRD for
+   that window — loss never degrades the windows that *do* arrive.
+
+4. **Forced worst case.**  Deterministically dropping one keyframe
+   (and, on a second stream, one mid-chain diff) pins the exact
+   damage arithmetic of the resync state machine.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the fleet and the
+keyframe interval so ``scripts/run_tier1.sh`` exercises every section
+in seconds.  All sections aggregate into one
+``BENCH_lossy_channel.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import EcgMonitorSystem
+from repro.ecg import RECORD_NAMES, SyntheticMitBih
+from repro.experiments import render_table
+from repro.fleet.engine import solve_measurement_block
+from repro.ingest import (
+    IngestGateway,
+    LossyChannel,
+    NodeClient,
+    replay_survivors,
+)
+from repro.metrics import prd
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: keyframe cadence: the damage bound under test.  Smoke shrinks it so
+#: a forced loss exercises a full resync inside a short stream.
+KEYFRAME_INTERVAL = 4 if SMOKE else 16
+#: concurrent node links per scenario
+STREAMS = 2
+#: windows each node streams: two keyframe intervals plus a final
+#: keyframe, so a mid-stream outage always has a recovery point
+WINDOWS = 2 * KEYFRAME_INTERVAL + 1
+#: iid loss rates of the statistical section (the pinned 1-5 % band)
+LOSS_RATES = (0.1,) if SMOKE else (0.01, 0.05)
+BATCH_SIZE = 4
+FLUSH_MS = 100.0
+#: PRD agreement: delivered windows must match the clean run to
+#: solver floating-point noise (PRD is in percent)
+PRD_ATOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def lossy_bench(bench_json):
+    """Accumulate every section into one BENCH_lossy_channel.json."""
+    payload: dict = {
+        "params": {
+            "streams": STREAMS,
+            "windows_per_stream": WINDOWS,
+            "keyframe_interval": KEYFRAME_INTERVAL,
+            "batch_size": BATCH_SIZE,
+            "flush_ms": FLUSH_MS,
+            "loss_rates": list(LOSS_RATES),
+        },
+        "timings": {},
+        "scenarios": {},
+    }
+    yield payload
+    bench_json(
+        "lossy_channel",
+        params=payload["params"],
+        timings=payload["timings"],
+        scenarios=payload["scenarios"],
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """STREAMS calibrated node systems sharing the paper's fixed
+    matrix, with the bench's keyframe cadence."""
+    base = SystemConfig().replace(keyframe_interval=KEYFRAME_INTERVAL)
+    database = SyntheticMitBih(
+        duration_s=WINDOWS * base.packet_seconds + 4.0, seed=2011
+    )
+    systems, records = [], []
+    for index in range(STREAMS):
+        record = database.load(list(RECORD_NAMES)[index % 8])
+        system = EcgMonitorSystem(base)
+        system.calibrate(record)
+        systems.append(system)
+        records.append(record)
+    return systems, records
+
+
+@pytest.fixture(scope="module")
+def serial_refs(fleet):
+    """Clean-channel serial reference per stream (ground truth)."""
+    systems, records = fleet
+    refs = []
+    for system, record in zip(systems, records):
+        reference = EcgMonitorSystem(system.config)
+        reference.encoder.codebook = system.encoder.codebook
+        reference.decoder.codebook = system.encoder.codebook
+        refs.append(
+            reference.stream(
+                record, max_packets=WINDOWS, keep_signals=True
+            )
+        )
+    return refs
+
+
+async def _run_fleet(systems, records, channels):
+    """Stream every node (through its channel, if any) into one
+    gateway over the loopback transport."""
+    gateway = IngestGateway(batch_size=BATCH_SIZE, flush_ms=FLUSH_MS)
+    clients = [
+        NodeClient(
+            system,
+            record,
+            max_packets=WINDOWS,
+            interval_s=0.0,
+            lossy_channel=channel,
+        )
+        for system, record, channel in zip(systems, records, channels)
+    ]
+    links = [gateway.connect_local() for _ in clients]
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    reports = await asyncio.gather(
+        *[
+            client.run(reader, writer)
+            for client, (reader, writer) in zip(clients, links)
+        ]
+    )
+    wall = loop.time() - started
+    await gateway.close()
+    return gateway, reports, [client.last_link for client in clients], wall
+
+
+def _run(systems, records, channels):
+    return asyncio.run(_run_fleet(systems, records, channels))
+
+
+def _result_of(gateway, record_name):
+    (match,) = [r for r in gateway.results if r.record == record_name]
+    return match.ordered()
+
+
+def _assert_survivor_agreement(gateway, systems, records, links):
+    """Gateway accounting == offline replay of the delivered frames,
+    and conservation holds per stream.  Returns per-stream damage."""
+    damage = []
+    for system, record, link in zip(systems, records, links):
+        result = _result_of(gateway, record.name)
+        assert result.error is None
+        delivered = (
+            link.stats.delivered
+            if link is not None
+            else [
+                p.to_bytes()
+                for p in _encoded(system, record)
+            ]
+        )
+        accepted, accounting = replay_survivors(
+            system.config,
+            system.encoder.codebook,
+            delivered,
+            windows_sent=WINDOWS,
+        )
+        assert result.sequences == [seq for seq, _ in accepted]
+        assert result.windows_lost == accounting.windows_lost
+        assert result.windows_resynced == accounting.windows_resynced
+        assert result.frames_corrupt == accounting.frames_corrupt
+        assert result.frames_duplicate == accounting.frames_duplicate
+        # conservation: nothing leaves the books
+        assert (
+            result.num_windows
+            + result.windows_lost
+            + result.windows_resynced
+            == WINDOWS
+        )
+        damage.append(result.windows_lost + result.windows_resynced)
+    return damage
+
+
+def _encoded(system, record):
+    from repro.ingest import encoded_packets
+
+    return encoded_packets(system, record, max_packets=WINDOWS)
+
+
+def _assert_offline_bit_identity(gateway, systems, records, links):
+    """Replaying the gateway's logged batch compositions through the
+    offline solver reproduces every delivered sample bit for bit."""
+    columns: dict[tuple[int, int], np.ndarray] = {}
+    by_session = {}
+    config = systems[0].config
+    for system, record, link in zip(systems, records, links):
+        result = _result_of(gateway, record.name)
+        by_session[result.session_id] = result
+        delivered = (
+            link.stats.delivered
+            if link is not None
+            else [p.to_bytes() for p in _encoded(system, record)]
+        )
+        accepted, _ = replay_survivors(
+            system.config, system.encoder.codebook, delivered
+        )
+        for index, (_seq, column) in enumerate(accepted):
+            columns[(result.session_id, index)] = column
+
+    dc_offset = 1 << (config.adc_bits - 1)
+    for _key, members, _reason in gateway.batch_log:
+        block = np.stack(
+            [columns[(sid, index)] for sid, index in members], axis=1
+        )
+        out = solve_measurement_block(
+            {
+                "config": dataclasses.asdict(config),
+                "precision": "float64",
+                "block": block,
+                "fractions": np.full(
+                    block.shape[1], config.lam, dtype=np.float64
+                ),
+                "batch_size": block.shape[1],
+                "max_iterations": config.max_iterations,
+                "tolerance": config.tolerance,
+            }
+        )
+        for column, (session_id, index) in enumerate(members):
+            np.testing.assert_array_equal(
+                by_session[session_id].samples_adu[index],
+                out["signals"][:, column] + dc_offset,
+            )
+
+
+def _assert_delivered_prd_matches_clean(
+    gateway, systems, records, serial_refs
+):
+    """Each delivered window's PRD equals the clean-channel run's PRD
+    for the same window: losses never degrade surviving windows."""
+    for system, record, serial in zip(systems, records, serial_refs):
+        result = _result_of(gateway, record.name)
+        dc = 1 << (system.config.adc_bits - 1)
+        n = system.config.n
+        original = serial.original_adu
+        for samples, sequence in zip(result.samples_adu, result.sequences):
+            window = original[sequence * n : (sequence + 1) * n]
+            lossy_prd = prd(window - dc, samples - dc)
+            clean_prd = serial.packets[sequence].prd_percent
+            assert abs(lossy_prd - clean_prd) < PRD_ATOL, (
+                f"window {sequence} of {record.name}: lossy PRD "
+                f"{lossy_prd} != clean PRD {clean_prd}"
+            )
+
+
+def test_clean_channel_unchanged(fleet, serial_refs, lossy_bench):
+    """loss=0: full delivery, zero damage counters, serial-equal
+    trajectories, offline bit-identity — and a zero-rate LossyLink is
+    a pure pass-through."""
+    systems, records = fleet
+
+    # (a) no wrapper at all: the PR 3 path
+    gateway, reports, links, wall = _run(
+        systems, records, [None] * STREAMS
+    )
+    assert all(report.error is None for report in reports)
+    assert all(link is None for link in links)
+    assert gateway.stats.windows_decoded == STREAMS * WINDOWS
+    assert gateway.stats.windows_lost == 0
+    assert gateway.stats.windows_resynced == 0
+    assert gateway.stats.frames_corrupt == 0
+    assert gateway.stats.frames_duplicate == 0
+    for system, record, serial in zip(systems, records, serial_refs):
+        result = _result_of(gateway, record.name)
+        assert result.sequences == list(range(WINDOWS))
+        assert result.iterations == [p.iterations for p in serial.packets]
+        np.testing.assert_allclose(
+            np.concatenate(result.samples_adu),
+            serial.reconstructed_adu,
+            atol=1e-7,
+        )
+    _assert_survivor_agreement(gateway, systems, records, links)
+    _assert_offline_bit_identity(gateway, systems, records, links)
+
+    # (b) a zero-rate lossy link in the path changes nothing
+    channels = [
+        LossyChannel(seed=index) for index in range(STREAMS)
+    ]
+    assert not any(channel.impairs for channel in channels)
+    gateway_b, reports_b, _links_b, _ = _run(systems, records, channels)
+    assert all(report.error is None for report in reports_b)
+    # a clean channel never engages the wrapper (impairs is False), so
+    # the frames on the wire are identical by construction; the decode
+    # must agree with the serial reference the same way
+    assert gateway_b.stats.windows_decoded == STREAMS * WINDOWS
+    assert gateway_b.stats.windows_lost == 0
+    for record, serial in zip(records, serial_refs):
+        result = _result_of(gateway_b, record.name)
+        assert result.iterations == [p.iterations for p in serial.packets]
+
+    lossy_bench["timings"]["clean_wall_s"] = wall
+    lossy_bench["scenarios"]["clean"] = {
+        "windows_decoded": gateway.stats.windows_decoded,
+        "damage": 0,
+    }
+
+
+def test_iid_loss_bounded_and_bit_identical(
+    fleet, serial_refs, lossy_bench
+):
+    """The pinned statistical claim: at p = 1-5 % iid loss, damage per
+    loss event is bounded by the keyframe interval, delivered windows
+    are bit-identical to the offline decode of the surviving packet
+    set, and their PRD matches the clean run."""
+    systems, records = fleet
+    rows = []
+    for rate in LOSS_RATES:
+        channels = [
+            LossyChannel(loss=rate, seed=2011 + index)
+            for index in range(STREAMS)
+        ]
+        gateway, reports, links, wall = _run(systems, records, channels)
+        assert all(report.error is None for report in reports)
+        damage = _assert_survivor_agreement(
+            gateway, systems, records, links
+        )
+        _assert_offline_bit_identity(gateway, systems, records, links)
+        _assert_delivered_prd_matches_clean(
+            gateway, systems, records, serial_refs
+        )
+        for link, stream_damage in zip(links, damage):
+            events = link.stats.loss_events
+            assert stream_damage <= events * KEYFRAME_INTERVAL, (
+                f"damage {stream_damage} exceeds {events} loss "
+                f"events x keyframe_interval {KEYFRAME_INTERVAL}"
+            )
+        dropped = sum(link.stats.frames_dropped for link in links)
+        decoded = gateway.stats.windows_decoded
+        rows.append(
+            {
+                "loss_rate": rate,
+                "sent": STREAMS * WINDOWS,
+                "dropped": dropped,
+                "decoded": decoded,
+                "lost": gateway.stats.windows_lost,
+                "resynced": gateway.stats.windows_resynced,
+                "damage_bound": dropped * KEYFRAME_INTERVAL,
+                "wall_s": wall,
+            }
+        )
+        lossy_bench["scenarios"][f"loss_{rate:g}"] = rows[-1]
+        lossy_bench["timings"][f"loss_{rate:g}_wall_s"] = wall
+    print("\n" + render_table(rows, title="iid loss: accounted damage"))
+
+
+def test_forced_keyframe_and_diff_drop(fleet, serial_refs, lossy_bench):
+    """Deterministic worst case: stream 0 loses the second keyframe
+    (sequence = keyframe_interval), stream 1 loses a mid-chain diff —
+    the resync arithmetic must come out exactly."""
+    systems, records = fleet
+    interval = KEYFRAME_INTERVAL
+    channels = [
+        LossyChannel(drop_sequences=(interval,), seed=1),
+        LossyChannel(drop_sequences=(interval + 2,), seed=2),
+    ]
+    gateway, reports, links, _wall = _run(systems, records, channels)
+    assert all(report.error is None for report in reports)
+    _assert_survivor_agreement(gateway, systems, records, links)
+    _assert_offline_bit_identity(gateway, systems, records, links)
+    _assert_delivered_prd_matches_clean(
+        gateway, systems, records, serial_refs
+    )
+
+    # stream 0: the keyframe at `interval` is gone, so every diff of
+    # its segment is unusable until the keyframe at 2*interval — the
+    # worst case, exactly one full interval of damage
+    keyframe_victim = _result_of(gateway, records[0].name)
+    assert keyframe_victim.windows_lost == 1
+    assert keyframe_victim.windows_resynced == interval - 1
+    assert (
+        keyframe_victim.windows_lost + keyframe_victim.windows_resynced
+        == interval
+    )
+    expected = list(range(interval)) + [2 * interval]
+    assert keyframe_victim.sequences == expected
+
+    # stream 1: a diff drop orphans only the tail of its segment
+    diff_victim = _result_of(gateway, records[1].name)
+    assert diff_victim.windows_lost == 1
+    assert diff_victim.windows_resynced == interval - 3
+    assert diff_victim.sequences == (
+        list(range(interval + 2)) + list(range(2 * interval, WINDOWS))
+    )
+    lossy_bench["scenarios"]["forced_drops"] = {
+        "keyframe_victim_damage": interval,
+        "diff_victim_damage": interval - 2,
+    }
+
+
+def test_mixed_impairments_conserve_accounting(fleet, lossy_bench):
+    """Drops, reorders, duplicates and bit flips together: the stream
+    survives with conservation intact and delivered windows still
+    bit-identical offline."""
+    systems, records = fleet
+    channels = [
+        LossyChannel(
+            loss=0.05,
+            reorder=0.1,
+            duplicate=0.1,
+            corrupt=0.05,
+            seed=77 + index,
+        )
+        for index in range(STREAMS)
+    ]
+    gateway, reports, links, wall = _run(systems, records, channels)
+    assert all(report.error is None for report in reports)
+    assert gateway.stats.sessions_errored == 0
+    damage = _assert_survivor_agreement(gateway, systems, records, links)
+    _assert_offline_bit_identity(gateway, systems, records, links)
+    for link, stream_damage in zip(links, damage):
+        # reordered frames can also open (transient) gaps: every
+        # impairment event is a potential loss event for the bound
+        events = (
+            link.stats.frames_dropped
+            + link.stats.frames_corrupted
+            + link.stats.frames_reordered
+        )
+        assert stream_damage <= events * KEYFRAME_INTERVAL
+    lossy_bench["scenarios"]["mixed"] = {
+        "decoded": gateway.stats.windows_decoded,
+        "lost": gateway.stats.windows_lost,
+        "resynced": gateway.stats.windows_resynced,
+        "corrupt_frames": gateway.stats.frames_corrupt,
+        "duplicate_frames": gateway.stats.frames_duplicate,
+        "wall_s": wall,
+    }
+    lossy_bench["timings"]["mixed_wall_s"] = wall

@@ -84,7 +84,12 @@ async def main() -> None:
           f"({stats.cross_stream_batches} spanning streams)")
     print(f"flush triggers:        {stats.flushes_full} full, "
           f"{stats.flushes_deadline} deadline, {stats.flushes_drain} drain")
-    print(f"worst decode latency:  {1000 * stats.max_latency_s:.0f} ms "
+    worst = (
+        "n/a (no window decoded)"
+        if stats.max_latency_s is None
+        else f"{1000 * stats.max_latency_s:.0f} ms"
+    )
+    print(f"worst decode latency:  {worst} "
           f"(real-time budget: {1000 * config.packet_seconds:.0f} ms)")
     for key, members, reason in gateway.batch_log:
         streams = ", ".join(f"s{sid}w{idx}" for sid, idx in members)
@@ -95,7 +100,9 @@ async def main() -> None:
     # node list order — pair by record name (unique in this demo)
     by_record = {result.record: result for result in gateway.results}
     for node in nodes:
-        result = by_record[node.record.name]
+        # ordered(): windows in stream order even if pooled batches
+        # completed out of order on a process pool
+        result = by_record[node.record.name].ordered()
         reference = EcgMonitorSystem(node.system.config)
         reference.encoder.codebook = node.system.encoder.codebook
         reference.decoder.codebook = node.system.encoder.codebook

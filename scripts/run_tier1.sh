@@ -36,7 +36,11 @@ if [[ "${1:-}" != "--fast" ]]; then
     rm -f benchmarks/results/BENCH_ingest_gateway.json
     REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_ingest_gateway.py -q
 
-    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway; do
+    echo "== lossy channel benchmark (smoke mode) =="
+    rm -f benchmarks/results/BENCH_lossy_channel.json
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_lossy_channel.py -q
+
+    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway lossy_channel; do
         if [[ ! -s "benchmarks/results/BENCH_${name}.json" ]]; then
             echo "ERROR: benchmarks wrote no benchmarks/results/BENCH_${name}.json" >&2
             exit 1
@@ -66,6 +70,16 @@ print(' '.join(sub.choices))
         fi
     done
     echo "README lists all ${subcommands// /, } subcommands"
+
+    channel_flags=$(python -c "from repro.cli import CHANNEL_FLAGS; print(' '.join(CHANNEL_FLAGS))")
+    for flag in ${channel_flags}; do
+        if ! grep -qe "${flag}" README.md; then
+            echo "ERROR: README.md is missing the serve channel flag '${flag}'" >&2
+            echo "       (flag exists in repro-ecg serve --help; update README)" >&2
+            exit 1
+        fi
+    done
+    echo "README lists all serve channel flags (${channel_flags// /, })"
 fi
 
 echo "== tier-1 OK =="

@@ -40,6 +40,19 @@ from .experiments import (
 
 _FIGURES = ("fig2", "fig6", "fig7")
 
+#: the lossy-channel simulation flags of ``serve --simulate``; the
+#: README drift check (scripts/run_tier1.sh) greps for each of these,
+#: so the docs cannot silently fall behind the CLI
+CHANNEL_FLAGS = (
+    "--loss", "--reorder", "--dup", "--corrupt", "--channel-seed"
+)
+
+
+def _latency_ms_cell(value: float | None) -> float | str:
+    """Render a max-latency column: ``None`` (no window ever decoded)
+    must read as no-data, never as a perfect 0.0 ms."""
+    return "n/a" if value is None else value
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -190,6 +203,45 @@ def _build_parser() -> argparse.ArgumentParser:
             "one packet per 2000 ms)"
         ),
     )
+    channel = serve.add_argument_group(
+        "lossy channel simulation (with --simulate)",
+        description=(
+            "impair each simulated node's radio link at the given "
+            "per-frame probabilities; the gateway recovers via "
+            "keyframe resync and accounts every damaged window "
+            "(lost/resynced/corrupt/dup columns in the table)"
+        ),
+    )
+    channel.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="probability a PACKET frame is dropped",
+    )
+    channel.add_argument(
+        "--reorder",
+        type=float,
+        default=0.0,
+        help="probability a PACKET frame is delivered late (reordered)",
+    )
+    channel.add_argument(
+        "--dup",
+        type=float,
+        default=0.0,
+        help="probability a PACKET frame is delivered twice",
+    )
+    channel.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        help="probability one payload bit is flipped (CRC-detectable)",
+    )
+    channel.add_argument(
+        "--channel-seed",
+        type=int,
+        default=2011,
+        help="seed of the impairment RNG (per-node offsets applied)",
+    )
 
     fig8 = sub.add_parser("fig8", help="simulate the real-time pipeline")
     fig8.add_argument("--cr", type=float, default=50.0)
@@ -318,9 +370,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import dataclasses
 
     from .errors import ConfigurationError
-    from .ingest import IngestGateway, NodeClient
+    from .ingest import IngestGateway, LossyChannel, NodeClient
 
     if args.simulate < 0:
         print("--simulate must be >= 0", file=sys.stderr)
@@ -334,8 +387,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush_ms=args.flush_ms,
             workers=args.fleet_workers,
         )
+        # validates the --loss/--reorder/--dup/--corrupt probabilities
+        channel_template = LossyChannel(
+            loss=args.loss,
+            reorder=args.reorder,
+            duplicate=args.dup,
+            corrupt=args.corrupt,
+            seed=args.channel_seed,
+        )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
+        return 2
+    if channel_template.impairs and not args.simulate:
+        print(
+            "--loss/--reorder/--dup/--corrupt impair the *simulated* "
+            "node links and need --simulate N; a plain serve would "
+            "silently ignore them",
+            file=sys.stderr,
+        )
         return 2
 
     async def _serve_forever() -> int:
@@ -367,12 +436,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             system = EcgMonitorSystem(base)
             system.calibrate(record)
+            lossy = None
+            if channel_template.impairs:
+                # distinct per-node seeds so the nodes' impairment
+                # patterns decorrelate, deterministically
+                lossy = dataclasses.replace(
+                    channel_template, seed=args.channel_seed + index
+                )
             clients.append(
                 NodeClient(
                     system,
                     record,
                     max_packets=args.packets,
                     interval_s=args.interval_ms / 1000.0,
+                    lossy_channel=lossy,
                 )
             )
         try:
@@ -388,35 +465,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reports = [o for o in outcomes if not isinstance(o, BaseException)]
         if not reports:
             return 1
-        rows = [
-            {
-                "stream": index,
-                "record": report.record,
-                "sent": report.sent,
-                "decoded": report.acked,
-                "max_latency_ms": report.max_gateway_latency_ms,
-                "mean_iters": (
-                    sum(report.iterations) / max(len(report.iterations), 1)
-                ),
-            }
-            for index, report in enumerate(reports)
-        ]
-        stats = gateway.stats
-        print(
-            render_table(
-                rows,
-                title=(
-                    f"live gateway: {args.simulate} nodes over TCP, "
-                    f"batch {args.batch_size}, flush {args.flush_ms:.0f} ms"
-                ),
+        # damage columns come from the gateway's per-stream results
+        # (authoritative: the node-side ack view misses damage after
+        # the last DECODED ack, e.g. a BYE-declared tail gap).  The
+        # WELCOME-assigned stream id pairs them exactly, even when
+        # several nodes stream the same record.
+        results_by_session = {
+            result.session_id: result for result in gateway.results
+        }
+        rows = []
+        for index, report in enumerate(reports):
+            result = results_by_session.get(report.stream_id, report)
+            rows.append(
+                {
+                    "stream": index,
+                    "record": report.record,
+                    "sent": report.sent,
+                    "decoded": report.acked,
+                    "lost": result.windows_lost,
+                    "resynced": result.windows_resynced,
+                    "corrupt": result.frames_corrupt,
+                    "dup": result.frames_duplicate,
+                    "max_latency_ms": _latency_ms_cell(
+                        report.max_gateway_latency_ms
+                    ),
+                    "mean_iters": (
+                        sum(report.iterations)
+                        / max(len(report.iterations), 1)
+                    ),
+                }
             )
+        stats = gateway.stats
+        title = (
+            f"live gateway: {args.simulate} nodes over TCP, "
+            f"batch {args.batch_size}, flush {args.flush_ms:.0f} ms"
         )
+        if channel_template.impairs:
+            title += (
+                f", channel loss={args.loss:g} reorder={args.reorder:g} "
+                f"dup={args.dup:g} corrupt={args.corrupt:g}"
+            )
+        print(render_table(rows, title=title))
         print(
             f"{stats.windows_decoded} windows in {stats.batches} pooled "
             f"batches ({stats.cross_stream_batches} spanning streams; "
             f"flushes: {stats.flushes_full} full, "
             f"{stats.flushes_deadline} deadline, "
             f"{stats.flushes_drain} drain)"
+        )
+        print(
+            f"channel damage: {stats.windows_lost} windows lost, "
+            f"{stats.windows_resynced} resynced, "
+            f"{stats.frames_corrupt} corrupt frames, "
+            f"{stats.frames_duplicate} duplicate/stale frames dropped"
         )
         if failures or any(report.error for report in reports):
             return 1

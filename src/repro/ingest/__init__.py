@@ -16,13 +16,32 @@ path a telecardiology coordinator actually runs:
   batch-full / idle-deadline / stream-end triggers with per-stream
   backpressure;
 - :mod:`~repro.ingest.client` — :class:`NodeClient`, the node-side
-  simulator replaying records at true (or accelerated) sample rate.
+  simulator replaying records at true (or accelerated) sample rate;
+- :mod:`~repro.ingest.channel` — the lossy-radio model: a seeded
+  :class:`LossyLink` impairment wrapper (drops, reorders, duplicates,
+  CRC-corrupting bit flips) plus the sequence-gap recovery state
+  machine (:class:`SequenceTracker`, :func:`admit_packet`) the gateway
+  runs per session, and :func:`replay_survivors`, the offline
+  reference over a recorded delivered-frame sequence.
 
 Decoded output is bit-identical to the offline path: a flushed block
 runs the same :func:`~repro.fleet.engine.solve_measurement_block` the
-column-sharded fleet engine uses, on the same pooled columns.
+column-sharded fleet engine uses, on the same pooled columns — and
+under loss, the delivered windows are bit-identical to an offline
+decode of the same surviving packet set, with the damage bounded by
+the keyframe interval and accounted per stream.
 """
 
+from .channel import (
+    FrameVerdict,
+    LinkStats,
+    LossAccounting,
+    LossyChannel,
+    LossyLink,
+    SequenceTracker,
+    admit_packet,
+    replay_survivors,
+)
 from .client import NodeClient, NodeReport, encoded_packets
 from .gateway import (
     DEFAULT_FLUSH_MS,
@@ -44,17 +63,25 @@ from .protocol import (
 __all__ = [
     "DEFAULT_FLUSH_MS",
     "FrameKind",
+    "FrameVerdict",
     "GatewayStats",
     "Handshake",
     "IngestGateway",
     "IngestStreamResult",
+    "LinkStats",
+    "LossAccounting",
+    "LossyChannel",
+    "LossyLink",
     "MAX_FRAME_BYTES",
     "NodeClient",
     "NodeReport",
     "PROTOCOL_VERSION",
+    "SequenceTracker",
+    "admit_packet",
     "encode_frame",
     "encode_json_frame",
     "encoded_packets",
     "read_frame",
+    "replay_survivors",
     "serve_gateway",
 ]

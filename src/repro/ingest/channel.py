@@ -1,0 +1,451 @@
+"""Lossy-channel semantics of the wire path: impairment + recovery.
+
+The paper's node→coordinator link is a real wireless channel, so the
+live path cannot assume a perfect pipe: ``PACKET`` frames may be
+dropped, reordered, duplicated or bit-flipped in flight.  This module
+holds *both* sides of that reality:
+
+- :class:`LossyChannel` / :class:`LossyLink` — a seeded impairment
+  injector that wraps any node-side writer (the in-process loopback or
+  a real TCP ``StreamWriter``) and damages ``PACKET`` frames at
+  configurable rates, recording the exact fate of every frame so a
+  bench can replay the surviving packet set offline;
+- :class:`SequenceTracker` + :func:`admit_packet` — the receiver-side
+  sequence-gap recovery state machine the gateway runs per session:
+  duplicates and stale reordered frames are dropped idempotently, a
+  gap or a corrupt CRC triggers a *resync* (difference packets are
+  discarded until the next keyframe re-anchors stage 2), and every
+  discarded window is accounted in :class:`LossAccounting`;
+- :func:`replay_survivors` — the offline reference: the same state
+  machine applied to a recorded delivered-frame sequence, used by
+  ``benchmarks/bench_lossy_channel.py`` to pin that the live gateway's
+  delivered-window output is bit-identical to an offline decode of the
+  same surviving packet set.
+
+Damage is bounded by design: the encoder emits a raw keyframe every
+``keyframe_interval`` packets (``SystemConfig.keyframe_interval``), so
+one loss event can cost at most ``keyframe_interval`` windows — the
+lost window(s) plus the unusable difference packets up to the next
+keyframe.  The accounting invariant, per stream::
+
+    windows_accepted + windows_lost + windows_resynced == windows_sent
+
+(``frames_duplicate`` and ``frames_corrupt`` count *frames*, not
+windows: a duplicate's window was already accepted, and a corrupt
+frame's window surfaces in ``windows_lost`` through the sequence gap
+it leaves behind.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.decoder import PacketPayloadDecoder
+from ..core.packets import EncodedPacket
+from ..errors import ConfigurationError, PacketFormatError
+from .protocol import FrameKind
+
+_SEQ_MOD = 1 << 16
+_SEQ_HALF = 1 << 15
+_FRAME_PREFIX = 4  # u32be length
+
+
+def sequence_delta(expected: int, sequence: int) -> int:
+    """Signed distance from ``expected`` to ``sequence`` mod 2^16.
+
+    Positive: ``sequence`` is ahead (a gap of that many windows was
+    lost); negative: behind (a duplicate or stale reordered frame);
+    zero: exactly the expected next window.  Half-range comparison, so
+    the 16-bit wraparound at 65535→0 is a delta of 1, not -65535.
+    """
+    return (sequence - expected + _SEQ_HALF) % _SEQ_MOD - _SEQ_HALF
+
+
+class FrameVerdict(enum.Enum):
+    """Outcome of one received ``PACKET`` frame under gap recovery."""
+
+    #: in-sequence and decodable: hand the packet to stages 1-2
+    ACCEPT = "accept"
+    #: CRC (or framing) failure: frame discarded, stream resyncs
+    CORRUPT = "corrupt"
+    #: duplicate or stale reordered frame: discarded idempotently
+    STALE = "stale"
+    #: difference packet during resync: discarded, waiting for the
+    #: next keyframe to re-anchor the difference chain
+    RESYNC_SKIP = "resync_skip"
+
+
+@dataclass
+class LossAccounting:
+    """Per-stream damage counters of the gap-recovery state machine."""
+
+    #: windows that never arrived (sequence gaps, including the tail
+    #: gap closed by a BYE frame that declares the sent-window count)
+    windows_lost: int = 0
+    #: difference packets that arrived but were discarded because the
+    #: stream was resyncing (unusable until the next keyframe)
+    windows_resynced: int = 0
+    #: PACKET frames whose on-air bytes failed the CRC/format check
+    frames_corrupt: int = 0
+    #: frames dropped idempotently: true duplicates and reordered
+    #: frames arriving after their window was already counted lost
+    frames_duplicate: int = 0
+
+    @property
+    def windows_damaged(self) -> int:
+        """Total windows this stream did not decode (lost + resynced)."""
+        return self.windows_lost + self.windows_resynced
+
+
+class SequenceTracker:
+    """Receiver-side expected-sequence state of one packet stream.
+
+    The wire protocol guarantees a stream's first window is sequence 0
+    (the node encoder resets before streaming), so the tracker starts
+    expecting 0 and a lost *first* packet is accounted like any other
+    gap.
+    """
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.accounting = LossAccounting()
+
+    def delta(self, sequence: int) -> int:
+        """Signed distance of ``sequence`` from the expected next one."""
+        return sequence_delta(self.expected, sequence)
+
+    def advance(self, sequence: int) -> None:
+        """Move past ``sequence``: the next expected follows it."""
+        self.expected = (sequence + 1) % _SEQ_MOD
+
+    def close_stream(self, windows_sent: int) -> None:
+        """Account the tail gap of an orderly stream end.
+
+        A trailing loss leaves no later packet to reveal the gap, so
+        the ``BYE`` frame may declare how many windows the node sent;
+        any still-missing tail is charged to ``windows_lost``.
+        """
+        final = windows_sent % _SEQ_MOD
+        gap = self.delta(final)
+        if gap > 0:
+            self.accounting.windows_lost += gap
+            self.expected = final
+
+
+def admit_packet(
+    tracker: SequenceTracker,
+    payload: PacketPayloadDecoder,
+    body: bytes,
+) -> tuple[FrameVerdict, EncodedPacket | None]:
+    """Run one wire ``PACKET`` body through sequence-gap recovery.
+
+    The single admission decision shared by the live gateway and the
+    offline :func:`replay_survivors` reference — one implementation is
+    what makes the two provably agree.  Updates ``tracker`` accounting
+    and the payload decoder's resync state; the caller decodes the
+    packet (stages 1-2) only on :attr:`FrameVerdict.ACCEPT`.
+    """
+    try:
+        packet = EncodedPacket.from_bytes(body)
+    except PacketFormatError:
+        # A frame the radio damaged: the CRC catches it, the stream
+        # survives.  Its sequence is unreadable, so the expected
+        # counter holds still — if the corrupt frame *was* the expected
+        # window, the next good frame exposes the gap and the window is
+        # charged to windows_lost there.  The difference reference may
+        # now be stale, so stage 2 resyncs to the next keyframe.
+        tracker.accounting.frames_corrupt += 1
+        payload.resync()
+        return FrameVerdict.CORRUPT, None
+    delta = tracker.delta(packet.sequence)
+    if delta < 0:
+        tracker.accounting.frames_duplicate += 1
+        return FrameVerdict.STALE, packet
+    if delta > 0:
+        tracker.accounting.windows_lost += delta
+        payload.resync()
+    tracker.advance(packet.sequence)
+    if payload.skip_to_keyframe(packet):
+        tracker.accounting.windows_resynced += 1
+        return FrameVerdict.RESYNC_SKIP, packet
+    return FrameVerdict.ACCEPT, packet
+
+
+def replay_survivors(
+    config,
+    codebook,
+    delivered: list[bytes],
+    dtype: type = np.float64,
+    windows_sent: int | None = None,
+) -> tuple[list[tuple[int, np.ndarray]], LossAccounting]:
+    """Offline stage-2 reference over a delivered ``PACKET`` sequence.
+
+    Applies exactly the admission rules the gateway applies live
+    (:func:`admit_packet` both times) and returns the accepted windows
+    as ``(sequence, dequantized measurement column)`` pairs plus the
+    accounting.  ``delivered`` is the post-impairment frame-body list a
+    :class:`LossyLink` recorded (:attr:`LinkStats.delivered`).
+    """
+    payload = PacketPayloadDecoder(config, codebook=codebook)
+    tracker = SequenceTracker()
+    accepted: list[tuple[int, np.ndarray]] = []
+    for body in delivered:
+        verdict, packet = admit_packet(tracker, payload, body)
+        if verdict is FrameVerdict.ACCEPT:
+            y_q = payload.decode_payload(packet)
+            accepted.append(
+                (packet.sequence, payload.quantizer.dequantize(y_q).astype(dtype))
+            )
+    if windows_sent is not None:
+        tracker.close_stream(windows_sent)
+    return accepted, tracker.accounting
+
+
+# ----------------------------------------------------------------------
+# Impairment injection (the node→gateway radio, simulated)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LinkStats:
+    """Ground truth of what one :class:`LossyLink` did to its frames."""
+
+    frames_seen: int = 0
+    frames_dropped: int = 0
+    frames_reordered: int = 0
+    frames_duplicated: int = 0
+    frames_corrupted: int = 0
+    frames_delivered: int = 0
+    #: sequence numbers of dropped frames (pre-impairment header read)
+    dropped_sequences: list[int] = field(default_factory=list)
+    #: sequence numbers whose delivered copy was bit-flipped
+    corrupted_sequences: list[int] = field(default_factory=list)
+    #: the exact post-impairment PACKET bodies, in delivery order —
+    #: the surviving packet set an offline replay consumes
+    delivered: list[bytes] = field(default_factory=list)
+
+    @property
+    def loss_events(self) -> int:
+        """Events that can each damage up to ``keyframe_interval``
+        windows: outright drops plus CRC-corrupting flips."""
+        return self.frames_dropped + self.frames_corrupted
+
+
+@dataclass(frozen=True)
+class LossyChannel:
+    """Configuration of a seeded lossy radio link.
+
+    All rates are independent per-frame probabilities in ``[0, 1]``;
+    only ``PACKET`` frames are impaired (``HELLO``/``BYE`` model the
+    reliable control side of the link, and impairing them would test
+    TCP, not the on-air packet path).
+
+    Parameters
+    ----------
+    loss:
+        Probability a frame is silently dropped.
+    reorder:
+        Probability a frame is held back and delivered after
+        1..``reorder_window`` later frames (reordering within a
+        window).
+    duplicate:
+        Probability a frame is delivered twice back to back.
+    corrupt:
+        Probability one random payload bit of the on-air packet bytes
+        is flipped (always CRC-detectable: CRC-16 catches every
+        single-bit error).
+    reorder_window:
+        Maximum displacement of a reordered frame, in frames.
+    drop_sequences:
+        Deterministically drop these sequence numbers (first pass of
+        each) regardless of ``loss`` — for targeted tests such as
+        "drop exactly the second keyframe".
+    seed:
+        Seed of the link's private RNG; same seed + same frame stream
+        => same fates.
+    """
+
+    loss: float = 0.0
+    reorder: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    reorder_window: int = 2
+    drop_sequences: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "reorder", "duplicate", "corrupt"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {rate}"
+                )
+        if self.reorder_window < 1:
+            raise ConfigurationError(
+                f"reorder_window must be >= 1, got {self.reorder_window}"
+            )
+
+    @property
+    def impairs(self) -> bool:
+        """Whether this channel can damage anything at all."""
+        return bool(
+            self.loss or self.reorder or self.duplicate or self.corrupt
+            or self.drop_sequences
+        )
+
+    def wrap(self, writer) -> "LossyLink":
+        """A :class:`LossyLink` applying this channel to ``writer``."""
+        return LossyLink(writer, self)
+
+
+class LossyLink:
+    """Writer wrapper that damages ``PACKET`` frames in flight.
+
+    Sits between a node client and any transport writer (the loopback
+    stand-in or a TCP ``StreamWriter``): bytes written through it are
+    reassembled into wire frames, ``PACKET`` frames roll the channel's
+    dice, and everything else passes through in order (after flushing
+    any held-back reordered frames, so control frames never overtake
+    data they followed).
+    """
+
+    def __init__(self, writer, channel: LossyChannel) -> None:
+        self._writer = writer
+        self.channel = channel
+        self.stats = LinkStats()
+        self._rng = np.random.default_rng(channel.seed)
+        self._buffer = bytearray()
+        #: reordered frames in flight: [frames_still_to_let_pass, frame]
+        self._held: list[list] = []
+        self._forced_drops = set(channel.drop_sequences)
+
+    # -- writer interface ------------------------------------------------
+    def write(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        self._pump()
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    def close(self) -> None:
+        self._release_held()
+        self._writer.close()
+
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()
+
+    async def wait_closed(self) -> None:
+        await self._writer.wait_closed()
+
+    def get_extra_info(self, name: str, default=None):
+        return self._writer.get_extra_info(name, default)
+
+    # -- framing ---------------------------------------------------------
+    def _pump(self) -> None:
+        """Split buffered bytes into frames and route each one."""
+        while True:
+            if len(self._buffer) < _FRAME_PREFIX:
+                return
+            length = int.from_bytes(self._buffer[:_FRAME_PREFIX], "big")
+            end = _FRAME_PREFIX + length
+            if len(self._buffer) < end:
+                return
+            frame = bytes(self._buffer[:end])
+            del self._buffer[:end]
+            if length >= 1 and frame[_FRAME_PREFIX] == int(FrameKind.PACKET):
+                self._impair(frame)
+            else:
+                # control frame: preserve order relative to the data
+                # frames it followed, then pass through untouched
+                self._release_held()
+                self._writer.write(frame)
+
+    # -- impairment ------------------------------------------------------
+    def _sequence_of(self, frame: bytes) -> int:
+        """Header peek (sync, kind, seq-hi, seq-lo) — no CRC check."""
+        body = frame[_FRAME_PREFIX + 1 :]
+        if len(body) >= 4:
+            return (body[2] << 8) | body[3]
+        return -1
+
+    def _impair(self, frame: bytes) -> None:
+        self.stats.frames_seen += 1
+        sequence = self._sequence_of(frame)
+        forced = sequence in self._forced_drops
+        if forced:
+            self._forced_drops.discard(sequence)
+        if forced or self._rng.random() < self.channel.loss:
+            self.stats.frames_dropped += 1
+            self.stats.dropped_sequences.append(sequence)
+            self._tick_held()
+            return
+        if self.channel.corrupt and self._rng.random() < self.channel.corrupt:
+            frame = self._flip_one_bit(frame)
+            self.stats.frames_corrupted += 1
+            self.stats.corrupted_sequences.append(sequence)
+        if self.channel.duplicate and self._rng.random() < self.channel.duplicate:
+            self.stats.frames_duplicated += 1
+            self._deliver(frame)
+        if self.channel.reorder and self._rng.random() < self.channel.reorder:
+            delay = int(self._rng.integers(1, self.channel.reorder_window + 1))
+            self.stats.frames_reordered += 1
+            self._held.append([delay, frame])
+            return
+        self._deliver(frame)
+
+    def _flip_one_bit(self, frame: bytes) -> bytes:
+        """Flip one random bit of the on-air packet bytes (the frame
+        body), leaving the length prefix and kind byte intact so the
+        framing layer still delivers the frame."""
+        body_start = _FRAME_PREFIX + 1
+        offset = int(self._rng.integers(body_start, len(frame)))
+        bit = int(self._rng.integers(0, 8))
+        mutated = bytearray(frame)
+        mutated[offset] ^= 1 << bit
+        return bytes(mutated)
+
+    def _emit(self, frame: bytes) -> None:
+        """Put one frame on the wire and record its delivery.  Does
+        NOT age the hold queue — released held frames must not re-age
+        their peers."""
+        self.stats.frames_delivered += 1
+        self.stats.delivered.append(frame[_FRAME_PREFIX + 1 :])
+        self._writer.write(frame)
+
+    def _deliver(self, frame: bytes) -> None:
+        self._emit(frame)
+        self._tick_held()
+
+    def _tick_held(self) -> None:
+        """One frame went past the hold queue: age every held frame
+        and release the ones whose displacement is served."""
+        due = []
+        for entry in self._held:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                due.append(entry)
+        for entry in due:
+            self._held.remove(entry)
+            self._emit(entry[1])
+
+    def _release_held(self) -> None:
+        """Flush all held frames (stream end or control frame)."""
+        while self._held:
+            _, frame = self._held.pop(0)
+            self._emit(frame)
+
+
+__all__ = [
+    "FrameVerdict",
+    "LinkStats",
+    "LossAccounting",
+    "LossyChannel",
+    "LossyLink",
+    "SequenceTracker",
+    "admit_packet",
+    "replay_survivors",
+    "sequence_delta",
+]

@@ -20,7 +20,15 @@ from ..core.packets import EncodedPacket
 from ..core.system import EcgMonitorSystem
 from ..ecg.records import Record
 from ..errors import ProtocolError
-from .protocol import FrameKind, Handshake, decode_json_body, encode_frame, read_frame
+from .channel import LossyChannel, LossyLink
+from .protocol import (
+    FrameKind,
+    Handshake,
+    decode_json_body,
+    encode_frame,
+    encode_json_frame,
+    read_frame,
+)
 
 
 @dataclass
@@ -29,6 +37,10 @@ class NodeReport:
 
     record: str
     channel: int
+    #: gateway-assigned session id (from WELCOME) — lets a caller
+    #: pair this report with the gateway's IngestStreamResult exactly,
+    #: even when several nodes stream the same record
+    stream_id: int | None = None
     sent: int = 0
     acked: int = 0
     error: str | None = None
@@ -36,11 +48,20 @@ class NodeReport:
     gateway_latencies_ms: list[float] = field(default_factory=list)
     #: per-window FISTA iterations reported in the DECODED acks
     iterations: list[int] = field(default_factory=list)
+    #: gateway damage accounting as of the last DECODED ack (the
+    #: node's view of its channel; the gateway's IngestStreamResult is
+    #: authoritative and also covers post-last-ack damage)
+    windows_lost: int = 0
+    windows_resynced: int = 0
+    frames_corrupt: int = 0
+    frames_duplicate: int = 0
 
     @property
-    def max_gateway_latency_ms(self) -> float:
-        """Worst per-window decode latency the gateway reported."""
-        return max(self.gateway_latencies_ms, default=0.0)
+    def max_gateway_latency_ms(self) -> float | None:
+        """Worst per-window decode latency the gateway reported, or
+        ``None`` when no window was ever acked — "no data" must not
+        masquerade as a perfect 0.0 ms."""
+        return max(self.gateway_latencies_ms, default=None)
 
 
 class NodeClient:
@@ -62,6 +83,14 @@ class NodeClient:
         record's true rate (``config.packet_seconds`` — 2 s per window
         at the paper's operating point); ``0`` streams as fast as the
         link accepts frames (throughput benchmarking).
+    lossy_channel:
+        Optional :class:`~repro.ingest.channel.LossyChannel`: the
+        node's frames pass through a seeded impairment link (drops,
+        reorders, duplicates, bit flips) before reaching the
+        transport, simulating the paper's wireless hop.  The
+        :class:`~repro.ingest.channel.LossyLink` of the most recent
+        run is kept in :attr:`last_link` so callers can read the
+        ground-truth fate of every frame.
     """
 
     def __init__(
@@ -71,6 +100,7 @@ class NodeClient:
         channel: int = 0,
         max_packets: int | None = None,
         interval_s: float | None = 0.0,
+        lossy_channel: LossyChannel | None = None,
     ) -> None:
         self.system = system
         self.record = record
@@ -79,6 +109,8 @@ class NodeClient:
         self.interval_s = (
             system.config.packet_seconds if interval_s is None else interval_s
         )
+        self.lossy_channel = lossy_channel
+        self.last_link: LossyLink | None = None
 
     def handshake(self) -> Handshake:
         """The HELLO this node sends (identity + codec config)."""
@@ -103,6 +135,13 @@ class NodeClient:
             max_packets=self.max_packets,
         )
         report = NodeReport(record=self.record.name, channel=self.channel)
+        if self.lossy_channel is not None and self.lossy_channel.impairs:
+            # the simulated radio hop: PACKET frames may be dropped /
+            # reordered / duplicated / bit-flipped past this point
+            self.last_link = self.lossy_channel.wrap(writer)
+            writer = self.last_link
+        else:
+            self.last_link = None
 
         writer.write(self.handshake().to_frame())
         await writer.drain()
@@ -114,6 +153,9 @@ class NodeClient:
             raise ProtocolError(decode_json_body(body).get("error", "rejected"))
         if kind is not FrameKind.WELCOME:
             raise ProtocolError(f"expected WELCOME, got {kind.name}")
+        welcome = decode_json_body(body)
+        if welcome.get("stream_id") is not None:
+            report.stream_id = int(welcome["stream_id"])
 
         receiver = asyncio.create_task(
             self._receive(reader, len(packets), report)
@@ -127,7 +169,11 @@ class NodeClient:
                 )
                 await writer.drain()
                 report.sent += 1
-            writer.write(encode_frame(FrameKind.BYE))
+            # declare the sent-window count so the gateway can account
+            # a trailing loss (no later packet would reveal that gap)
+            writer.write(
+                encode_json_frame(FrameKind.BYE, {"windows": len(packets)})
+            )
             await writer.drain()
             await receiver
         finally:
@@ -156,6 +202,17 @@ class NodeClient:
                     float(payload.get("latency_ms", 0.0))
                 )
                 report.iterations.append(int(payload.get("iterations", 0)))
+                # running damage counters (session-cumulative)
+                report.windows_lost = int(payload.get("windows_lost", 0))
+                report.windows_resynced = int(
+                    payload.get("windows_resynced", 0)
+                )
+                report.frames_corrupt = int(
+                    payload.get("frames_corrupt", 0)
+                )
+                report.frames_duplicate = int(
+                    payload.get("frames_duplicate", 0)
+                )
             elif kind is FrameKind.ERROR:
                 report.error = decode_json_body(body).get("error", "unknown")
                 break

@@ -30,9 +30,22 @@ connected:
 
 Backpressure is per stream: a session may have at most
 ``max_pending`` windows in flight; past that its read loop stops
-pulling frames, which on TCP propagates to the node's socket.  One
-slow stream therefore cannot grow the gateway's memory unboundedly or
-starve its group-mates.
+pulling frames, which on TCP propagates to the node's socket.  The
+quota is acquired *before* any per-frame work (CRC parse, entropy
+decode, dequantization), so a flooding node cannot buy unbounded
+gateway CPU ahead of its backpressure bound.  One slow stream
+therefore cannot grow the gateway's memory unboundedly or starve its
+group-mates.
+
+The wire is treated as lossy (:mod:`repro.ingest.channel`): each
+session tracks the expected next sequence number; duplicates and stale
+reordered frames are dropped idempotently, a corrupt-CRC frame is
+counted and discarded, and a sequence gap puts stage 2 into a *resync*
+state that discards difference packets until the next keyframe
+re-anchors the cumulative chain — so one loss event damages at most
+``keyframe_interval`` windows, and every damaged window is accounted
+in :class:`IngestStreamResult` / :class:`GatewayStats` rather than
+silently corrupting the reconstruction.
 
 The decoded output is bit-identical to the offline path: every flushed
 block runs the same batched solve the offline engine would run on the
@@ -53,7 +66,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.decoder import PacketPayloadDecoder
-from ..core.packets import EncodedPacket
 from ..errors import (
     ConfigurationError,
     DecodingError,
@@ -62,10 +74,12 @@ from ..errors import (
 )
 from ..fleet.engine import solve_measurement_block
 from ..fleet.scheduler import solve_key
+from .channel import FrameVerdict, SequenceTracker, admit_packet
 from .protocol import (
     PROTOCOL_VERSION,
     FrameKind,
     Handshake,
+    decode_json_body,
     encode_json_frame,
     read_frame,
 )
@@ -135,14 +149,24 @@ class IngestStreamResult:
     error: str | None
     #: window index within the stream, in decode-completion order —
     #: monotonic for an in-process gateway, possibly interleaved when
-    #: batches decode concurrently on a process pool (the gateway
-    #: re-sorts all per-window lists by this at stream end)
+    #: batches decode concurrently on a process pool (call
+    #: :meth:`ordered` — done automatically at stream end — before
+    #: reading the per-window lists positionally)
     indices: list[int] = field(default_factory=list)
     sequences: list[int] = field(default_factory=list)
     iterations: list[int] = field(default_factory=list)
     decode_seconds: list[float] = field(default_factory=list)
     latencies_s: list[float] = field(default_factory=list)
     samples_adu: list[np.ndarray] = field(default_factory=list)
+    #: lossy-channel damage accounting (see repro.ingest.channel):
+    #: windows that never arrived (sequence gaps, incl. the BYE-closed
+    #: tail gap), diff windows discarded while resyncing to a keyframe,
+    #: frames failing the on-air CRC, and idempotently dropped
+    #: duplicate/stale frames
+    windows_lost: int = 0
+    windows_resynced: int = 0
+    frames_corrupt: int = 0
+    frames_duplicate: int = 0
 
     @property
     def num_windows(self) -> int:
@@ -150,9 +174,36 @@ class IngestStreamResult:
         return len(self.sequences)
 
     @property
-    def max_latency_s(self) -> float:
-        """Worst frame-arrival-to-reconstruction latency observed."""
-        return max(self.latencies_s, default=0.0)
+    def max_latency_s(self) -> float | None:
+        """Worst frame-arrival-to-reconstruction latency observed, or
+        ``None`` when no window was ever decoded (distinct from a true
+        0.0 — "no data" must not read as "perfect latency")."""
+        return max(self.latencies_s, default=None)
+
+    def ordered(self) -> "IngestStreamResult":
+        """Normalize the per-window lists to stream (window) order.
+
+        Batches solved concurrently on a process pool can complete out
+        of order, in which case the lists above interleave two batches'
+        windows; this re-sorts every positional list by
+        :attr:`indices` (a stable permutation applied to all of them,
+        so rows stay aligned) and returns ``self``.  Idempotent; the
+        gateway calls it at stream end, and any caller reading the
+        lists mid-stream or after manual routing should too.
+        """
+        if self.indices != sorted(self.indices):
+            order = np.argsort(self.indices, kind="stable")
+            for name in (
+                "indices",
+                "sequences",
+                "iterations",
+                "decode_seconds",
+                "latencies_s",
+                "samples_adu",
+            ):
+                values = getattr(self, name)
+                setattr(self, name, [values[i] for i in order])
+        return self
 
 
 @dataclass
@@ -168,7 +219,14 @@ class GatewayStats:
     flushes_deadline: int = 0
     flushes_drain: int = 0
     cross_stream_batches: int = 0
-    max_latency_s: float = 0.0
+    #: lossy-channel damage across all sessions (see channel.py)
+    windows_lost: int = 0
+    windows_resynced: int = 0
+    frames_corrupt: int = 0
+    frames_duplicate: int = 0
+    #: ``None`` until the first window decodes — "no data yet" must
+    #: not be reported as a perfect 0.0 latency
+    max_latency_s: float | None = None
 
 
 class _Session:
@@ -193,6 +251,7 @@ class _Session:
         )
         self.quota = asyncio.Semaphore(max_pending)
         self.group: "_GroupPool | None" = None  # set by the gateway
+        self.tracker = SequenceTracker()
         self.windows_submitted = 0
         self.outstanding = 0
         self.closed = False
@@ -397,6 +456,20 @@ class IngestGateway:
                 if kind is FrameKind.PACKET:
                     await self._submit(session, body)
                 elif kind is FrameKind.BYE:
+                    if body:
+                        # a BYE may declare how many windows were sent,
+                        # so a trailing loss (no later packet to reveal
+                        # the gap) is still accounted
+                        declared = decode_json_body(body).get("windows")
+                        if declared is not None:
+                            try:
+                                declared = int(declared)
+                            except (TypeError, ValueError) as exc:
+                                raise ProtocolError(
+                                    f"invalid BYE window count "
+                                    f"{declared!r}"
+                                ) from exc
+                            session.tracker.close_stream(declared)
                     session.result.clean_close = True
                     break
                 else:
@@ -442,22 +515,32 @@ class IngestGateway:
         return session
 
     async def _submit(self, session: _Session, body: bytes) -> None:
-        """Stages 1-2 for one PACKET frame, then pool the column.
+        """Admit one PACKET frame, run stages 1-2, pool the column.
 
         Awaiting the session quota *here* is the backpressure
         mechanism: while this stream has ``max_pending`` windows in
-        flight, its read loop stops consuming frames.
+        flight, its read loop stops consuming frames.  The quota is
+        acquired before any per-frame work — CRC parse, sequence
+        check, entropy decode — so a node flooding the link cannot
+        spend gateway CPU beyond its backpressure bound; a cancelled
+        wait (disconnect mid-backpressure) holds no permit and has
+        registered nothing, so nothing leaks.
         """
         # latency is "frame arrival to reconstruction" (protocol.py):
         # stamp before stages 1-2 and before the quota wait, so a
         # window queued behind backpressure reports its true age
         arrived = asyncio.get_running_loop().time()
-        packet = EncodedPacket.from_bytes(body)
+        await session.quota.acquire()
+        verdict, packet = admit_packet(session.tracker, session.payload, body)
+        if verdict is not FrameVerdict.ACCEPT:
+            # discarded frame (corrupt / duplicate / stale / resync
+            # skip): accounted in the session tracker, never pooled
+            session.quota.release()
+            return
         y_q = session.payload.decode_payload(packet)
         column = session.payload.quantizer.dequantize(y_q).astype(
             session.dtype
         )
-        await session.quota.acquire()
         window = _PendingWindow(
             session=session,
             index=session.windows_submitted,
@@ -483,21 +566,19 @@ class IngestGateway:
         session.check_done()
         await session.all_done.wait()
         self._sessions.pop(session.id, None)
-        result = session.result
-        if result.indices != sorted(result.indices):
-            # concurrent batch solves completed out of order: restore
-            # stream order so callers see windows as the node sent them
-            order = np.argsort(result.indices, kind="stable")
-            for name in (
-                "indices",
-                "sequences",
-                "iterations",
-                "decode_seconds",
-                "latencies_s",
-                "samples_adu",
-            ):
-                values = getattr(result, name)
-                setattr(result, name, [values[i] for i in order])
+        # concurrent batch solves may have completed out of order:
+        # restore stream order so callers see windows as the node sent
+        # them, then publish the stream's damage accounting
+        result = session.result.ordered()
+        accounting = session.tracker.accounting
+        result.windows_lost = accounting.windows_lost
+        result.windows_resynced = accounting.windows_resynced
+        result.frames_corrupt = accounting.frames_corrupt
+        result.frames_duplicate = accounting.frames_duplicate
+        self.stats.windows_lost += accounting.windows_lost
+        self.stats.windows_resynced += accounting.windows_resynced
+        self.stats.frames_corrupt += accounting.frames_corrupt
+        self.stats.frames_duplicate += accounting.frames_duplicate
         self.results.append(result)
         if session.result.error is None:
             self.stats.sessions_completed += 1
@@ -652,9 +733,13 @@ class IngestGateway:
             result.latencies_s.append(latency)
             result.samples_adu.append(samples)
             self.stats.windows_decoded += 1
-            self.stats.max_latency_s = max(
-                self.stats.max_latency_s, latency
-            )
+            if self.stats.max_latency_s is None:
+                self.stats.max_latency_s = latency
+            else:
+                self.stats.max_latency_s = max(
+                    self.stats.max_latency_s, latency
+                )
+            accounting = session.tracker.accounting
             self._send_json(
                 session,
                 FrameKind.DECODED,
@@ -662,6 +747,13 @@ class IngestGateway:
                     "sequence": window.sequence,
                     "iterations": iterations,
                     "latency_ms": 1000.0 * latency,
+                    # running damage accounting, so a node (and the
+                    # serve --simulate table) sees channel losses
+                    # without a side channel
+                    "windows_lost": accounting.windows_lost,
+                    "windows_resynced": accounting.windows_resynced,
+                    "frames_corrupt": accounting.frames_corrupt,
+                    "frames_duplicate": accounting.frames_duplicate,
                 },
             )
             session.quota.release()

@@ -27,10 +27,17 @@ Node -> gateway frames
     One encoded 2-second window, as the exact on-air bytes of
     :meth:`~repro.core.packets.EncodedPacket.to_bytes` (sync byte,
     header, payload, CRC-16).  The gateway CRC-checks and decodes it
-    incrementally.
+    incrementally.  The wire is treated as *lossy*: a stream's first
+    window is sequence 0 and sequences increase by one per window
+    (mod 2^16), so the gateway detects drops, reorders and duplicates
+    from the sequence alone (see :mod:`repro.ingest.channel`); a
+    corrupt-CRC frame is counted and discarded, not a link error.
 ``BYE``
     Orderly end of stream: the gateway flushes the stream's pending
-    windows, finishes decoding, and closes the link.
+    windows, finishes decoding, and closes the link.  The body may be
+    empty, or a JSON object ``{"windows": N}`` declaring how many
+    windows the node sent — this lets the gateway account a *trailing*
+    loss, which no later packet would otherwise reveal.
 
 Gateway -> node frames
 ======================
@@ -40,9 +47,12 @@ Gateway -> node frames
     gateway-assigned stream id.
 ``DECODED``
     One window left the solver: JSON with the packet ``sequence``,
-    FISTA ``iterations`` and the gateway-side ``latency_ms`` from
-    frame arrival to reconstruction.  Lets a node (or the bench
-    harness) observe end-to-end decode latency without a side channel.
+    FISTA ``iterations``, the gateway-side ``latency_ms`` from frame
+    arrival to reconstruction, and the session's running
+    lossy-channel accounting (``windows_lost``, ``windows_resynced``,
+    ``frames_corrupt``, ``frames_duplicate``).  Lets a node (or the
+    bench harness) observe end-to-end decode latency and channel
+    damage without a side channel.
 ``ERROR``
     JSON ``{"error": reason}``; the gateway closes the link after
     sending it.

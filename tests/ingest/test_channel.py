@@ -1,0 +1,371 @@
+"""Unit tests of the lossy-channel layer (repro.ingest.channel).
+
+The impairment injector (:class:`LossyLink`) and the receiver-side
+gap-recovery state machine (:class:`SequenceTracker` /
+:func:`admit_packet`) are tested in isolation here; their end-to-end
+composition through a live gateway is covered in ``test_gateway.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import PacketPayloadDecoder
+from repro.core.packets import EncodedPacket, PacketKind
+from repro.errors import ConfigurationError, DecodingError, PacketFormatError
+from repro.ingest import (
+    FrameKind,
+    FrameVerdict,
+    LossyChannel,
+    LossyLink,
+    SequenceTracker,
+    admit_packet,
+    encode_frame,
+    encoded_packets,
+    replay_survivors,
+)
+from repro.ingest.channel import sequence_delta
+
+
+class _SinkWriter:
+    """Collects written bytes; reassembles frames for assertions."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.data.extend(data)
+
+    def frames(self) -> list[tuple[int, bytes]]:
+        out, offset = [], 0
+        while offset < len(self.data):
+            length = int.from_bytes(self.data[offset : offset + 4], "big")
+            body = bytes(self.data[offset + 4 : offset + 4 + length])
+            out.append((body[0], body[1:]))
+            offset += 4 + length
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+def _packet_frames(system, record, count):
+    packets = encoded_packets(system, record, max_packets=count)
+    return packets, [
+        encode_frame(FrameKind.PACKET, p.to_bytes()) for p in packets
+    ]
+
+
+@pytest.fixture(scope="module")
+def stream(small_config, database):
+    """One calibrated system + record shared by the link tests."""
+    from repro.core import EcgMonitorSystem
+
+    config = small_config.replace(keyframe_interval=4)
+    record = database.load("100")
+    system = EcgMonitorSystem(config)
+    system.calibrate(record)
+    return system, record
+
+
+class TestSequenceDelta:
+    def test_in_order(self):
+        assert sequence_delta(5, 5) == 0
+        assert sequence_delta(5, 6) == 1
+        assert sequence_delta(5, 4) == -1
+
+    def test_wraparound(self):
+        assert sequence_delta(65535, 0) == 1
+        assert sequence_delta(0, 65535) == -1
+        assert sequence_delta(65530, 4) == 10
+
+
+class TestSequenceTracker:
+    def test_gap_then_close_stream(self):
+        tracker = SequenceTracker()
+        assert tracker.delta(0) == 0
+        tracker.advance(0)
+        assert tracker.delta(3) == 2  # windows 1-2 missing
+        tracker.accounting.windows_lost += tracker.delta(3)
+        tracker.advance(3)
+        tracker.close_stream(6)  # windows 4-5 never sent a reveal
+        assert tracker.accounting.windows_lost == 4
+
+    def test_close_stream_without_gap_is_noop(self):
+        tracker = SequenceTracker()
+        tracker.advance(0)
+        tracker.advance(1)
+        tracker.close_stream(2)
+        assert tracker.accounting.windows_lost == 0
+
+
+class TestAdmitPacket:
+    def _fresh(self, system):
+        payload = PacketPayloadDecoder(
+            system.config, codebook=system.encoder.codebook
+        )
+        return SequenceTracker(), payload
+
+    def test_in_order_stream_all_accepted(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 5)
+        tracker, payload = self._fresh(system)
+        for packet in packets:
+            verdict, parsed = admit_packet(
+                tracker, payload, packet.to_bytes()
+            )
+            assert verdict is FrameVerdict.ACCEPT
+            payload.decode_payload(parsed)
+        assert tracker.accounting.windows_damaged == 0
+
+    def test_corrupt_frame_triggers_resync(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 5)
+        tracker, payload = self._fresh(system)
+        verdict, parsed = admit_packet(
+            tracker, payload, packets[0].to_bytes()
+        )
+        payload.decode_payload(parsed)
+        wire = bytearray(packets[1].to_bytes())
+        wire[-1] ^= 0x01
+        verdict, parsed = admit_packet(tracker, payload, bytes(wire))
+        assert verdict is FrameVerdict.CORRUPT
+        assert parsed is None
+        assert tracker.accounting.frames_corrupt == 1
+        assert payload.awaiting_keyframe
+        # next good diff reveals the gap and is itself unusable
+        verdict, _ = admit_packet(tracker, payload, packets[2].to_bytes())
+        assert verdict is FrameVerdict.RESYNC_SKIP
+        assert tracker.accounting.windows_lost == 1
+        assert tracker.accounting.windows_resynced == 1
+        # the keyframe at sequence 4 re-arms the chain
+        verdict, _ = admit_packet(tracker, payload, packets[3].to_bytes())
+        assert verdict is FrameVerdict.RESYNC_SKIP
+        verdict, parsed = admit_packet(
+            tracker, payload, packets[4].to_bytes()
+        )
+        assert verdict is FrameVerdict.ACCEPT
+        assert parsed.kind is PacketKind.KEYFRAME
+        payload.decode_payload(parsed)
+        assert not payload.awaiting_keyframe
+
+    def test_duplicate_is_stale(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 2)
+        tracker, payload = self._fresh(system)
+        for packet in packets:
+            _, parsed = admit_packet(tracker, payload, packet.to_bytes())
+            payload.decode_payload(parsed)
+        verdict, _ = admit_packet(
+            tracker, payload, packets[0].to_bytes()
+        )
+        assert verdict is FrameVerdict.STALE
+        assert tracker.accounting.frames_duplicate == 1
+
+    def test_decode_payload_guards_resync_misuse(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 2)
+        _, payload = self._fresh(system)
+        payload.decode_payload(packets[0])
+        payload.resync()
+        with pytest.raises(DecodingError, match="resync"):
+            payload.decode_payload(packets[1])
+
+    def test_diff_before_any_keyframe_is_skipped(self, stream):
+        """Joining mid-stream (first keyframe lost) must skip diffs,
+        not crash."""
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 3)
+        tracker, payload = self._fresh(system)
+        verdict, _ = admit_packet(tracker, payload, packets[1].to_bytes())
+        assert verdict is FrameVerdict.RESYNC_SKIP
+        assert tracker.accounting.windows_lost == 1  # the keyframe
+        assert tracker.accounting.windows_resynced == 1
+
+
+class TestLossyLink:
+    def test_passthrough_when_channel_is_clean(self, stream):
+        system, record = stream
+        _, frames = _packet_frames(system, record, 4)
+        sink = _SinkWriter()
+        link = LossyChannel(seed=1).wrap(sink)
+        assert not LossyChannel(seed=1).impairs
+        for frame in frames:
+            link.write(frame)
+        assert bytes(sink.data) == b"".join(frames)
+        assert link.stats.frames_delivered == 4
+        assert link.stats.loss_events == 0
+
+    def test_partial_writes_reassemble_frames(self, stream):
+        """Byte-at-a-time writes must still split on frame boundaries
+        (TCP gives no write-boundary guarantees)."""
+        system, record = stream
+        _, frames = _packet_frames(system, record, 2)
+        sink = _SinkWriter()
+        link = LossyChannel(seed=1).wrap(sink)
+        blob = b"".join(frames)
+        for index in range(len(blob)):
+            link.write(blob[index : index + 1])
+        assert bytes(sink.data) == blob
+
+    def test_forced_drop_sequences(self, stream):
+        system, record = stream
+        packets, frames = _packet_frames(system, record, 5)
+        sink = _SinkWriter()
+        link = LossyChannel(drop_sequences=(1, 3), seed=0).wrap(sink)
+        for frame in frames:
+            link.write(frame)
+        assert link.stats.frames_dropped == 2
+        assert link.stats.dropped_sequences == [1, 3]
+        delivered = [
+            EncodedPacket.from_bytes(body).sequence
+            for body in link.stats.delivered
+        ]
+        assert delivered == [0, 2, 4]
+
+    def test_duplicate_rate_one_doubles_every_frame(self, stream):
+        system, record = stream
+        _, frames = _packet_frames(system, record, 3)
+        sink = _SinkWriter()
+        link = LossyChannel(duplicate=1.0, seed=0).wrap(sink)
+        for frame in frames:
+            link.write(frame)
+        assert link.stats.frames_duplicated == 3
+        assert link.stats.frames_delivered == 6
+        sequences = [
+            EncodedPacket.from_bytes(body).sequence
+            for body in link.stats.delivered
+        ]
+        assert sequences == [0, 0, 1, 1, 2, 2]
+
+    def test_corrupt_rate_one_flips_exactly_one_bit(self, stream):
+        system, record = stream
+        packets, frames = _packet_frames(system, record, 2)
+        sink = _SinkWriter()
+        link = LossyChannel(corrupt=1.0, seed=3).wrap(sink)
+        for frame in frames:
+            link.write(frame)
+        assert link.stats.frames_corrupted == 2
+        for original, body in zip(packets, link.stats.delivered):
+            clean = original.to_bytes()
+            assert len(body) == len(clean)
+            diff_bits = sum(
+                bin(a ^ b).count("1") for a, b in zip(clean, body)
+            )
+            assert diff_bits == 1
+            with pytest.raises(PacketFormatError):
+                EncodedPacket.from_bytes(body)
+
+    def test_reorder_holds_within_window_and_flushes_on_control(
+        self, stream
+    ):
+        """A held frame is passed by later frames and lands out of
+        order; nothing is lost, and control frames flush the holds so
+        BYE never overtakes data."""
+        system, record = stream
+        _, frames = _packet_frames(system, record, 8)
+        displaced = None
+        for seed in range(32):
+            sink = _SinkWriter()
+            link = LossyChannel(
+                reorder=0.5, reorder_window=2, seed=seed
+            ).wrap(sink)
+            for frame in frames:
+                link.write(frame)
+            link.write(encode_frame(FrameKind.BYE))
+            kinds = [kind for kind, _ in sink.frames()]
+            # every PACKET delivered exactly once, BYE always last
+            assert kinds.count(int(FrameKind.PACKET)) == 8
+            assert kinds[-1] == int(FrameKind.BYE)
+            sequences = [
+                EncodedPacket.from_bytes(body).sequence
+                for kind, body in sink.frames()
+                if kind == int(FrameKind.PACKET)
+            ]
+            assert sorted(sequences) == list(range(8))
+            if sequences != list(range(8)):
+                displaced = (seed, sequences, link.stats.frames_reordered)
+                break
+        assert displaced is not None, "no seed in 0..31 ever reordered"
+        assert displaced[2] >= 1
+
+    def test_same_seed_same_fates(self, stream):
+        system, record = stream
+        _, frames = _packet_frames(system, record, 12)
+        outcomes = []
+        for _ in range(2):
+            sink = _SinkWriter()
+            link = LossyChannel(
+                loss=0.3, duplicate=0.2, corrupt=0.2, reorder=0.2, seed=42
+            ).wrap(sink)
+            for frame in frames:
+                link.write(frame)
+            link.write(encode_frame(FrameKind.BYE))
+            outcomes.append((bytes(sink.data), link.stats.frames_dropped))
+        assert outcomes[0] == outcomes[1]
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            LossyChannel(loss=1.5)
+        with pytest.raises(ConfigurationError):
+            LossyChannel(corrupt=-0.1)
+        with pytest.raises(ConfigurationError):
+            LossyChannel(reorder_window=0)
+
+
+class TestReplaySurvivors:
+    def test_conservation_invariant_under_mixed_impairment(self, stream):
+        """accepted + lost + resynced == sent, for any impairment mix
+        — nothing disappears from the books."""
+        system, record = stream
+        total = 16
+        _, frames = _packet_frames(system, record, total)
+        for seed in range(8):
+            sink = _SinkWriter()
+            link = LossyChannel(
+                loss=0.2,
+                reorder=0.15,
+                duplicate=0.15,
+                corrupt=0.1,
+                seed=seed,
+            ).wrap(sink)
+            for frame in frames:
+                link.write(frame)
+            link.write(encode_frame(FrameKind.BYE))
+            accepted, accounting = replay_survivors(
+                system.config,
+                system.encoder.codebook,
+                link.stats.delivered,
+                windows_sent=total,
+            )
+            assert (
+                len(accepted)
+                + accounting.windows_lost
+                + accounting.windows_resynced
+                == total
+            ), f"seed {seed} violated conservation"
+
+    def test_clean_channel_accepts_everything(self, stream):
+        system, record = stream
+        total = 6
+        packets, _ = _packet_frames(system, record, total)
+        accepted, accounting = replay_survivors(
+            system.config,
+            system.encoder.codebook,
+            [p.to_bytes() for p in packets],
+            windows_sent=total,
+        )
+        assert [seq for seq, _ in accepted] == list(range(total))
+        assert accounting.windows_damaged == 0
+        # columns equal a straight stage-1/2 decode
+        payload = PacketPayloadDecoder(
+            system.config, codebook=system.encoder.codebook
+        )
+        reference = payload.measurement_block(packets, np.float64)
+        for index, (_, column) in enumerate(accepted):
+            np.testing.assert_array_equal(column, reference[:, index])
+
+
+def test_lossy_link_exported():
+    assert isinstance(LossyChannel(seed=0).wrap(_SinkWriter()), LossyLink)

@@ -357,18 +357,69 @@ class TestFaults:
         assert gateway.stats.sessions_errored == 1
         assert gateway.results == []  # never admitted
 
-    def test_corrupt_packet_crc_rejected(self, small_config, database):
+    def test_corrupt_packet_crc_counted_not_fatal(
+        self, small_config, database
+    ):
+        """A bit-flipped on-air packet must not kill the link: the
+        frame is counted, stage 2 resyncs, and the stream recovers at
+        the next keyframe."""
+        config = small_config.replace(keyframe_interval=4)
+        record = database.load("100")
+        system = _system(config, record)
+        packets = encoded_packets(system, record, max_packets=5)
+        wire = bytearray(packets[0].to_bytes())
+        wire[-1] ^= 0xFF  # break the CRC of the first keyframe
+
+        async def run():
+            gateway = IngestGateway(batch_size=1, flush_ms=50.0)
+            reader, writer = gateway.connect_local()
+            writer.write(self._hello_frame(system, record))
+            writer.write(encode_frame(FrameKind.PACKET, bytes(wire)))
+            for packet in packets[1:]:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            writer.write(encode_frame(FrameKind.BYE))
+            await asyncio.sleep(0.05)  # let the session task start
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert gateway.stats.sessions_errored == 0
+        result = gateway.results[0]
+        assert result.clean_close and result.error is None
+        assert result.frames_corrupt == 1
+        # the corrupted window surfaces as a loss through the gap the
+        # next good frame reveals; diffs 1-3 are unusable until the
+        # keyframe at sequence 4 re-anchors the chain
+        assert result.windows_lost == 1
+        assert result.windows_resynced == 3
+        assert result.sequences == [4]
+        serial = _serial_reference(system, record, max_packets=5)
+        n = config.n
+        np.testing.assert_allclose(
+            result.samples_adu[0],
+            serial.reconstructed_adu[4 * n : 5 * n],
+            atol=1e-7,
+        )
+
+    def test_invalid_bye_window_count_is_protocol_error(
+        self, small_config, database
+    ):
+        """A malformed BYE body must fail like any other protocol
+        violation (ERROR frame + errored session), not crash the
+        handler silently."""
         record = database.load("100")
         system = _system(small_config, record)
-        packets = encoded_packets(system, record, max_packets=1)
-        wire = bytearray(packets[0].to_bytes())
-        wire[-1] ^= 0xFF  # break the CRC
 
         async def run():
             gateway = IngestGateway(batch_size=2, flush_ms=100.0)
             reader, writer = gateway.connect_local()
             writer.write(self._hello_frame(system, record))
-            writer.write(encode_frame(FrameKind.PACKET, bytes(wire)))
+            writer.write(
+                encode_json_frame(FrameKind.BYE, {"windows": "abc"})
+            )
             frames = []
             while True:
                 frame = await read_frame(reader)
@@ -384,7 +435,8 @@ class TestFaults:
         error_body = json.loads(
             [body for kind, body in frames if kind is FrameKind.ERROR][0]
         )
-        assert "CRC" in error_body["error"]
+        assert "invalid BYE window count" in error_body["error"]
+        assert not gateway.results[0].clean_close
 
     def test_zero_packet_close_leaves_group_batching_alone(
         self, small_config, database
@@ -495,6 +547,327 @@ class TestFaults:
         assert "expected HELLO" in json.loads(body)["error"]
 
 
+class TestLossResilience:
+    """Sequence-gap recovery: drops, reorders, duplicates are survived
+    with bounded, accounted damage (the PR-4 tentpole)."""
+
+    def _hello_frame(self, system, record):
+        return Handshake(
+            record=record.name,
+            channel=0,
+            config=system.config,
+            codebook=system.encoder.codebook,
+        ).to_frame()
+
+    def _run_stream(self, system, record, wires, declared=None):
+        """Drive one loopback session over an explicit wire sequence."""
+
+        async def run():
+            gateway = IngestGateway(batch_size=4, flush_ms=50.0)
+            reader, writer = gateway.connect_local()
+            writer.write(self._hello_frame(system, record))
+            for wire in wires:
+                writer.write(encode_frame(FrameKind.PACKET, wire))
+            if declared is None:
+                writer.write(encode_frame(FrameKind.BYE))
+            else:
+                writer.write(
+                    encode_json_frame(
+                        FrameKind.BYE, {"windows": declared}
+                    )
+                )
+            await asyncio.sleep(0.05)  # let the session task start
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        return asyncio.run(run())
+
+    def _assert_windows_match_serial(self, result, serial, config):
+        """Each delivered window equals the serial decode of the same
+        sequence (resynced chains re-anchor exactly)."""
+        n = config.n
+        for samples, sequence in zip(result.samples_adu, result.sequences):
+            np.testing.assert_allclose(
+                samples,
+                serial.reconstructed_adu[sequence * n : (sequence + 1) * n],
+                atol=1e-7,
+            )
+
+    def test_dropped_diff_resyncs_at_next_keyframe(
+        self, small_config, database
+    ):
+        """Losing one difference packet costs the gap plus the diffs up
+        to the next keyframe — never the whole stream."""
+        config = small_config.replace(keyframe_interval=4)
+        record = database.load("100")
+        system = _system(config, record)
+        packets = encoded_packets(system, record, max_packets=8)
+        wires = [
+            p.to_bytes() for i, p in enumerate(packets) if i != 2
+        ]
+
+        gateway = self._run_stream(system, record, wires, declared=8)
+        assert gateway.stats.sessions_errored == 0
+        result = gateway.results[0]
+        assert result.error is None
+        # window 2 lost; window 3 (a diff past the gap) resynced; the
+        # keyframe at 4 re-arms and 4-7 decode
+        assert result.sequences == [0, 1, 4, 5, 6, 7]
+        assert result.windows_lost == 1
+        assert result.windows_resynced == 1
+        assert result.frames_corrupt == 0
+        assert result.frames_duplicate == 0
+        serial = _serial_reference(system, record, max_packets=8)
+        self._assert_windows_match_serial(result, serial, config)
+
+    def test_lost_keyframe_waits_for_following_keyframe(
+        self, small_config, database
+    ):
+        """Dropping a *keyframe* stalls the stream for one full
+        keyframe interval: the resync state machine must hold through
+        every diff of the orphaned segment and re-arm only at the
+        following keyframe, with the damage fully attributed."""
+        config = small_config.replace(keyframe_interval=4)
+        record = database.load("100")
+        system = _system(config, record)
+        packets = encoded_packets(system, record, max_packets=9)
+        assert packets[4].kind.name == "KEYFRAME"  # the victim
+        wires = [
+            p.to_bytes() for i, p in enumerate(packets) if i != 4
+        ]
+
+        gateway = self._run_stream(system, record, wires, declared=9)
+        result = gateway.results[0]
+        assert result.error is None
+        # diffs 5-7 arrive but cannot anchor anywhere; keyframe 8 ends
+        # the outage
+        assert result.sequences == [0, 1, 2, 3, 8]
+        assert result.windows_lost == 1
+        assert result.windows_resynced == 3
+        # one loss event, keyframe_interval-bounded damage, all of it
+        # accounted
+        damage = result.windows_lost + result.windows_resynced
+        assert damage == config.keyframe_interval
+        assert result.num_windows + damage == 9
+        serial = _serial_reference(system, record, max_packets=9)
+        self._assert_windows_match_serial(result, serial, config)
+
+    def test_duplicates_and_stale_frames_dropped_idempotently(
+        self, small_config, database
+    ):
+        config = small_config.replace(keyframe_interval=4)
+        record = database.load("100")
+        system = _system(config, record)
+        packets = encoded_packets(system, record, max_packets=4)
+        wires = [
+            packets[0].to_bytes(),
+            packets[1].to_bytes(),
+            packets[1].to_bytes(),  # true duplicate
+            packets[2].to_bytes(),
+            packets[3].to_bytes(),
+            packets[0].to_bytes(),  # stale (far behind)
+        ]
+
+        gateway = self._run_stream(system, record, wires, declared=4)
+        result = gateway.results[0]
+        assert result.error is None
+        assert result.sequences == [0, 1, 2, 3]
+        assert result.frames_duplicate == 2
+        assert result.windows_lost == 0
+        assert result.windows_resynced == 0
+        serial = _serial_reference(system, record, max_packets=4)
+        _assert_matches_serial(result, serial)
+
+    def test_bye_declared_count_accounts_trailing_loss(
+        self, small_config, database
+    ):
+        """A tail loss leaves no later packet to reveal the gap; the
+        BYE's declared window count closes the books."""
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=4)
+        wires = [p.to_bytes() for p in packets[:2]]
+
+        gateway = self._run_stream(system, record, wires, declared=4)
+        result = gateway.results[0]
+        assert result.sequences == [0, 1]
+        assert result.windows_lost == 2
+        assert gateway.stats.windows_lost == 2
+
+    def test_lossy_node_client_end_to_end(self, small_config, database):
+        """NodeClient + LossyChannel over the loopback transport: the
+        gateway's accounting agrees with the link's ground truth and
+        the offline replay of the surviving packet set."""
+        from repro.ingest import LossyChannel, replay_survivors
+
+        config = small_config.replace(keyframe_interval=4)
+        record = database.load("100")
+        system = _system(config, record)
+        channel = LossyChannel(drop_sequences=(2, 4), seed=7)
+
+        async def run():
+            gateway = IngestGateway(batch_size=4, flush_ms=50.0)
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system,
+                record,
+                max_packets=9,
+                interval_s=0.0,
+                lossy_channel=channel,
+            )
+            report = await asyncio.wait_for(
+                client.run(reader, writer), timeout=60.0
+            )
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, report, client.last_link
+
+        gateway, report, link = asyncio.run(run())
+        assert link.stats.frames_dropped == 2
+        assert link.stats.dropped_sequences == [2, 4]
+        result = gateway.results[0]
+        assert result.error is None
+        # drop of diff 2: window 3 resyncs; drop of keyframe 4: diffs
+        # 5-7 resync; keyframe 8 recovers
+        assert result.sequences == [0, 1, 8]
+        assert result.windows_lost == 2
+        assert result.windows_resynced == 4
+        assert report.acked == result.num_windows
+        assert report.windows_lost == 2
+        # offline replay of the recorded surviving packet set agrees
+        accepted, accounting = replay_survivors(
+            config,
+            system.encoder.codebook,
+            link.stats.delivered,
+            windows_sent=9,
+        )
+        assert [seq for seq, _ in accepted] == result.sequences
+        assert accounting.windows_lost == result.windows_lost
+        assert accounting.windows_resynced == result.windows_resynced
+
+
+class TestOrderingRegression:
+    def test_out_of_order_batch_completion_renormalized(
+        self, small_config, database
+    ):
+        """Process-pool solves can complete out of order; the ordered()
+        accessor (and finalize) must restore window order across every
+        positional list so samples_adu/latencies_s stay aligned."""
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=2)
+
+        async def run():
+            gateway = IngestGateway(batch_size=64, flush_ms=60_000.0)
+            reader, writer = gateway.connect_local()
+            writer.write(
+                Handshake(
+                    record=record.name,
+                    channel=0,
+                    config=system.config,
+                    codebook=system.encoder.codebook,
+                ).to_frame()
+            )
+            for packet in packets:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            await asyncio.sleep(0.05)  # pooled, nothing flushed yet
+            session = next(iter(gateway._sessions.values()))
+            pending = list(session.group.pending)
+            session.group.pending.clear()
+            assert [w.index for w in pending] == [0, 1]
+            n = system.config.n
+
+            def fake_out(marker):
+                return {
+                    "signals": np.full((n, 1), float(marker)),
+                    "iterations": np.array([marker]),
+                    "seconds": np.array([0.001]),
+                }
+
+            # force out-of-order completion: window 1's batch routes
+            # before window 0's
+            gateway._route([pending[1]], fake_out(1))
+            gateway._route([pending[0]], fake_out(0))
+            assert session.result.indices == [1, 0]  # completion order
+            ordered = session.result.ordered()
+            assert ordered.indices == [0, 1]
+            assert ordered.sequences == [0, 1]
+            assert ordered.iterations == [0, 1]
+            # rows stayed aligned through the permutation
+            for index in (0, 1):
+                assert float(ordered.samples_adu[index][0]) == float(
+                    index + session.dc_offset
+                )
+            writer.write(encode_frame(FrameKind.BYE))
+            await asyncio.sleep(0.05)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        result = gateway.results[0]
+        assert result.indices == [0, 1]  # finalize normalized too
+
+
+class TestNoDataReporting:
+    def test_no_decoded_windows_report_none_not_zero(
+        self, small_config, database
+    ):
+        """A stream that never decoded a window must report latency as
+        no-data (None), not a perfect 0.0."""
+        from repro.ingest import NodeReport
+
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=4, flush_ms=50.0)
+            reader, writer = gateway.connect_local()
+            writer.write(
+                Handshake(
+                    record=record.name,
+                    channel=0,
+                    config=system.config,
+                    codebook=system.encoder.codebook,
+                ).to_frame()
+            )
+            writer.write(encode_frame(FrameKind.BYE))  # zero packets
+            await asyncio.sleep(0.05)  # let the session task start
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert gateway.stats.windows_decoded == 0
+        assert gateway.stats.max_latency_s is None
+        assert gateway.results[0].max_latency_s is None
+        report = NodeReport(record=record.name, channel=0)
+        assert report.max_gateway_latency_ms is None
+
+    def test_latency_reported_when_windows_decode(
+        self, small_config, database
+    ):
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=1, flush_ms=50.0)
+            reader, writer = gateway.connect_local()
+            client = NodeClient(system, record, max_packets=1, interval_s=0.0)
+            report = await asyncio.wait_for(
+                client.run(reader, writer), timeout=60.0
+            )
+            await gateway.close()
+            return gateway, report
+
+        gateway, report = asyncio.run(run())
+        assert gateway.stats.max_latency_s > 0.0
+        assert report.max_gateway_latency_ms > 0.0
+
+
 class TestBackpressure:
     def test_quota_bounds_batch_contributions(
         self, small_config, database
@@ -528,6 +901,68 @@ class TestBackpressure:
             gateway.results[0],
             _serial_reference(system, record, max_packets=6),
         )
+
+    def test_quota_gates_stage12_work(
+        self, small_config, database, monkeypatch
+    ):
+        """Regression: stages 1-2 must run *behind* the quota, so a
+        flooding node cannot buy unbounded gateway CPU — with
+        max_pending=1 and nothing flushing, exactly one frame may be
+        parsed, and a disconnect that cancels the quota wait leaks
+        neither permits nor outstanding counts."""
+        import repro.ingest.channel as channel_module
+
+        parsed = {"count": 0}
+        original = channel_module.EncodedPacket.from_bytes.__func__
+
+        def counting_from_bytes(cls, data):
+            parsed["count"] += 1
+            return original(cls, data)
+
+        monkeypatch.setattr(
+            channel_module.EncodedPacket,
+            "from_bytes",
+            classmethod(counting_from_bytes),
+        )
+        record = database.load("100")
+        system = _system(small_config, record)
+        packets = encoded_packets(system, record, max_packets=3)
+
+        async def run():
+            gateway = IngestGateway(
+                batch_size=64, flush_ms=60_000.0, max_pending=1
+            )
+            reader, writer = gateway.connect_local()
+            writer.write(
+                Handshake(
+                    record=record.name,
+                    channel=0,
+                    config=system.config,
+                    codebook=system.encoder.codebook,
+                ).to_frame()
+            )
+            for packet in packets:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            await asyncio.sleep(0.1)
+            session = next(iter(gateway._sessions.values()))
+            # frame 1 parsed and pooled; frame 2's read loop is parked
+            # in quota.acquire() with no work done; frame 3 unread
+            parsed_under_pressure = parsed["count"]
+            # gateway shutdown cancels the parked acquire mid-wait
+            # (the disconnect path _finalize must survive)
+            await asyncio.wait_for(gateway.close(), timeout=60.0)
+            return gateway, session, parsed_under_pressure
+
+        gateway, session, parsed_under_pressure = asyncio.run(run())
+        assert parsed_under_pressure == 1
+        # no leaks: the pending window decoded on the drain path and
+        # released its permit; the cancelled waiter never held one
+        assert session.outstanding == 0
+        assert session.quota._value == 1
+        assert len(gateway.results) == 1
+        assert gateway.results[0].num_windows == 1
 
 
 class TestTcpTransport:

@@ -108,11 +108,44 @@ class TestCli:
         assert "max_latency_ms" in captured
         assert "4 windows" in captured  # 2 nodes x 2 windows, all decoded
 
+    def test_serve_simulate_with_lossy_channel(self, capsys):
+        """The --loss knob drives the simulator: the run survives the
+        impaired channel, and the table/summary report the damage
+        accounting instead of silently under-decoding."""
+        code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--simulate", "2",
+                "--packets", "4",
+                "--batch-size", "2",
+                "--flush-ms", "100",
+                "--interval-ms", "10",
+                "--loss", "0.25",
+                "--channel-seed", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "channel loss=0.25" in captured
+        assert "lost" in captured and "resynced" in captured
+        assert "channel damage:" in captured
+
+    def test_latency_cell_reports_no_data_distinctly(self):
+        from repro.cli import _latency_ms_cell
+
+        assert _latency_ms_cell(None) == "n/a"
+        assert _latency_ms_cell(12.5) == 12.5
+
     def test_serve_invalid_parameters_exit_cleanly(self, capsys):
         assert main(["serve", "--simulate", "-1"]) == 2
         assert main(["serve", "--simulate", "1", "--packets", "0"]) == 2
         assert main(["serve", "--batch-size", "0"]) == 2
         assert main(["serve", "--flush-ms", "0"]) == 2
+        assert main(["serve", "--simulate", "1", "--loss", "1.5"]) == 2
+        assert main(["serve", "--simulate", "1", "--corrupt", "-0.1"]) == 2
+        # channel flags without --simulate would be silently ignored
+        assert main(["serve", "--loss", "0.1"]) == 2
 
     def test_sweep_fig7(self, capsys):
         code = main(
