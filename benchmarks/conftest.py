@@ -22,12 +22,34 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 import pytest
+
+#: schema version of the BENCH_<name>.json payload; bump when the
+#: envelope (not a bench's own series) changes shape
+BENCH_JSON_SCHEMA = 2
+
+
+def _git_commit() -> str | None:
+    """The repo HEAD the run measured, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
 
 from repro.config import SystemConfig
 from repro.core import EcgMonitorSystem
@@ -64,8 +86,12 @@ def write_bench_json(
 
     Writes ``BENCH_<name>.json`` with the workload parameters, wall
     clock/speedup timings and any extra series the bench wants pinned,
-    plus enough environment context (smoke flag, python, machine) to
-    compare runs across PRs.  Returns the written path.
+    plus enough provenance to make the perf trajectory comparable
+    across runs: schema version, UTC timestamp, the git commit the
+    numbers were measured at, CPU count, and whether the run was a
+    smoke (``REPRO_BENCH_SMOKE``) — a smoke number must never be
+    mistaken for a full-mode one by downstream tooling.  Returns the
+    written path.
     """
     directory = Path(
         os.environ.get(
@@ -74,9 +100,14 @@ def write_bench_json(
     )
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
+        "schema": BENCH_JSON_SCHEMA,
         "bench": name,
         "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
         "unix_time": time.time(),
+        "utc_time": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_commit": _git_commit(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),

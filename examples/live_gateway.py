@@ -23,6 +23,12 @@ import numpy as np
 
 from repro import EcgMonitorSystem, SyntheticMitBih, SystemConfig
 from repro.ingest import IngestGateway, NodeClient
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsServer,
+    render_snapshot_table,
+    scrape_local,
+)
 
 from _common import banner
 
@@ -55,10 +61,17 @@ async def main() -> None:
             )
         )
 
-    gateway = IngestGateway(batch_size=4, flush_ms=300.0)
+    # one registry is the telemetry plane for the whole run: the
+    # gateway publishes sessions/flushes/latencies into it, and the
+    # scrape endpoint serves it in the Prometheus text format
+    registry = MetricsRegistry()
+    gateway = IngestGateway(batch_size=4, flush_ms=300.0, telemetry=registry)
     port = await gateway.start("127.0.0.1", 0)
+    metrics = MetricsServer(registry)
+    metrics_port = await metrics.start("127.0.0.1", 0)
     print(f"gateway listening on 127.0.0.1:{port} "
           f"(batch 4, flush 300 ms, in-process solves)")
+    print(f"metrics exposition on http://127.0.0.1:{metrics_port}/metrics")
 
     reports = await asyncio.gather(
         *[node.run_tcp("127.0.0.1", port) for node in nodes]
@@ -66,6 +79,8 @@ async def main() -> None:
     # TCP handler tasks finalize results just after the clients return
     while len(gateway.results) < len(nodes):
         await asyncio.sleep(0.01)
+    scraped = await scrape_local(metrics_port)
+    await metrics.close()
     await gateway.close()
 
     banner("what each node observed")
@@ -94,6 +109,22 @@ async def main() -> None:
     for key, members, reason in gateway.batch_log:
         streams = ", ".join(f"s{sid}w{idx}" for sid, idx in members)
         print(f"  batch[{reason:>8}]: {streams}")
+
+    banner("the telemetry plane (one registry, every surface)")
+    print(
+        render_snapshot_table(
+            registry.snapshot(),
+            title="ingest metrics (counters, gauges, histograms)",
+            prefix="ingest_",
+        )
+    )
+    scrape_lines = [
+        line for line in scraped.splitlines()
+        if line.startswith("ingest_windows_decoded")
+    ]
+    print("as scraped over HTTP:")
+    for line in scrape_lines:
+        print(f"  {line}")
 
     banner("live output vs offline serial decoder")
     # session ids follow TCP accept order, which need not match the

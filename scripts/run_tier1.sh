@@ -40,7 +40,11 @@ if [[ "${1:-}" != "--fast" ]]; then
     rm -f benchmarks/results/BENCH_lossy_channel.json
     REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_lossy_channel.py -q
 
-    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway lossy_channel; do
+    echo "== adaptive batching benchmark (smoke mode) =="
+    rm -f benchmarks/results/BENCH_adaptive_batching.json
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_adaptive_batching.py -q
+
+    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway lossy_channel adaptive_batching; do
         if [[ ! -s "benchmarks/results/BENCH_${name}.json" ]]; then
             echo "ERROR: benchmarks wrote no benchmarks/results/BENCH_${name}.json" >&2
             exit 1
@@ -80,6 +84,16 @@ print(' '.join(sub.choices))
         fi
     done
     echo "README lists all serve channel flags (${channel_flags// /, })"
+
+    telemetry_flags=$(python -c "from repro.cli import TELEMETRY_FLAGS; print(' '.join(TELEMETRY_FLAGS))")
+    for flag in ${telemetry_flags}; do
+        if ! grep -qe "${flag}" README.md; then
+            echo "ERROR: README.md is missing the serve telemetry flag '${flag}'" >&2
+            echo "       (flag exists in repro-ecg serve --help; update README)" >&2
+            exit 1
+        fi
+    done
+    echo "README lists all serve telemetry flags (${telemetry_flags// /, })"
 fi
 
 echo "== tier-1 OK =="

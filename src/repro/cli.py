@@ -5,6 +5,7 @@ Installed as ``repro-ecg``::
     repro-ecg quickstart --cr 50 --record 100
     repro-ecg fleet --streams 8 --batch-size 32 --groups 4 --fleet-workers 4
     repro-ecg serve --port 9765 --flush-ms 250 --fleet-workers 2
+    repro-ecg serve --adaptive --metrics-port 9100 --metrics-file ring.jsonl
     repro-ecg serve --simulate 4 --packets 6     # self-contained demo
     repro-ecg sweep --figure fig7 --records 3 --packets 6
     repro-ecg fig8
@@ -37,6 +38,7 @@ from .experiments import (
     run_fig8,
     run_simd_ablation,
 )
+from .telemetry import render_result_table
 
 _FIGURES = ("fig2", "fig6", "fig7")
 
@@ -47,11 +49,9 @@ CHANNEL_FLAGS = (
     "--loss", "--reorder", "--dup", "--corrupt", "--channel-seed"
 )
 
-
-def _latency_ms_cell(value: float | None) -> float | str:
-    """Render a max-latency column: ``None`` (no window ever decoded)
-    must read as no-data, never as a perfect 0.0 ms."""
-    return "n/a" if value is None else value
+#: the telemetry/adaptive flags of ``serve``; drift-checked against
+#: README exactly like CHANNEL_FLAGS
+TELEMETRY_FLAGS = ("--adaptive", "--metrics-file", "--metrics-port")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -203,6 +203,54 @@ def _build_parser() -> argparse.ArgumentParser:
             "one packet per 2000 ms)"
         ),
     )
+    telemetry = serve.add_argument_group(
+        "telemetry and adaptive batching",
+        description=(
+            "the gateway publishes every counter/latency through the "
+            "unified telemetry plane (repro.telemetry); these flags "
+            "turn on its persistent sinks and the AIMD batch "
+            "controller that steers the flush operating point against "
+            "the 2 s real-time budget"
+        ),
+    )
+    telemetry.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "adapt the effective batch width and flush deadline to "
+            "load (AIMD: widen under backlog with latency headroom, "
+            "shed multiplicatively when the 2 s budget is threatened); "
+            "at steady state the controller holds the configured "
+            "--batch-size/--flush-ms point exactly"
+        ),
+    )
+    telemetry.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append telemetry snapshots to this bounded JSONL ring "
+            "file (compacts itself; replay restores the newest "
+            "snapshot after a crash)"
+        ),
+    )
+    telemetry.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the Prometheus text exposition on this HTTP port "
+            "(0 = OS-assigned; any GET answers with the current "
+            "registry)"
+        ),
+    )
+    telemetry.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="seconds between ring-file snapshot appends",
+    )
     channel = serve.add_argument_group(
         "lossy channel simulation (with --simulate)",
         description=(
@@ -353,7 +401,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     total_windows = sum(r.num_packets for r in results)
     print(
-        render_table(
+        render_result_table(
             rows,
             title=(
                 f"fleet decode: {args.streams} streams, {groups} operator "
@@ -374,6 +422,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .errors import ConfigurationError
     from .ingest import IngestGateway, LossyChannel, NodeClient
+    from .telemetry import JsonlRingSink, MetricsRegistry, MetricsServer
 
     if args.simulate < 0:
         print("--simulate must be >= 0", file=sys.stderr)
@@ -381,11 +430,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.simulate and args.packets < 1:
         print("--packets must be >= 1", file=sys.stderr)
         return 2
+    if args.metrics_interval <= 0:
+        print("--metrics-interval must be positive", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
     try:
         gateway = IngestGateway(
             batch_size=args.batch_size,
             flush_ms=args.flush_ms,
             workers=args.fleet_workers,
+            telemetry=registry,
+            adaptive=args.adaptive,
         )
         # validates the --loss/--reorder/--dup/--corrupt probabilities
         channel_template = LossyChannel(
@@ -406,28 +461,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    ring = (
+        JsonlRingSink(args.metrics_file)
+        if args.metrics_file is not None
+        else None
+    )
+
+    async def _open_sinks() -> tuple[MetricsServer | None, asyncio.Task | None]:
+        """Start the scrape endpoint and the periodic ring appender."""
+        server = None
+        if args.metrics_port is not None:
+            server = MetricsServer(registry)
+            port = await server.start(args.host, args.metrics_port)
+            print(f"metrics exposition on http://{args.host}:{port}/metrics")
+        appender = None
+        if ring is not None:
+
+            async def _append_loop() -> None:
+                loop = asyncio.get_running_loop()
+                while True:
+                    await asyncio.sleep(args.metrics_interval)
+                    # snapshot on the loop (cheap, lock-guarded), but
+                    # write — and possibly compact — off it: file I/O
+                    # must not stall frame reads or flush deadlines
+                    snapshot = registry.snapshot()
+                    await loop.run_in_executor(None, ring.append, snapshot)
+
+            appender = asyncio.create_task(_append_loop())
+            print(f"metrics ring file: {ring.path}")
+        return server, appender
+
+    async def _close_sinks(server, appender) -> None:
+        if appender is not None:
+            appender.cancel()
+            try:
+                await appender
+            except asyncio.CancelledError:
+                pass
+        if ring is not None:
+            ring.append(registry.snapshot())  # final state survives exit
+        if server is not None:
+            await server.close()
 
     async def _serve_forever() -> int:
         port = await gateway.start(args.host, args.port)
+        server, appender = await _open_sinks()
         workers = gateway.workers
         mode = f"{workers} worker processes" if workers > 1 else "in-process"
+        batching = "adaptive batching" if args.adaptive else "fixed batching"
         print(
             f"ingest gateway listening on {args.host}:{port} "
             f"(batch {args.batch_size}, flush {args.flush_ms:.0f} ms, "
-            f"{mode} decode); Ctrl-C to stop"
+            f"{batching}, {mode} decode); Ctrl-C to stop"
         )
         try:
             await asyncio.Event().wait()
         finally:
             await gateway.close()
+            await _close_sinks(server, appender)
         return 0
 
     async def _simulate() -> int:
         port = await gateway.start(args.host, args.port)
+        server, appender = await _open_sinks()
         base = SystemConfig().with_target_cr(args.cr)
         duration = args.packets * base.packet_seconds + 4.0
         database = SyntheticMitBih(duration_s=duration)
         clients = []
+        if args.simulate > len(RECORD_NAMES):
+            # stream identity is record:channel — once the corpus
+            # wraps, two concurrent nodes share an identity and the
+            # per-stream telemetry/merged views aggregate them as one
+            print(
+                f"note: {args.simulate} nodes over a {len(RECORD_NAMES)}"
+                f"-record corpus: stream identities repeat, so "
+                f"per-stream telemetry merges the nodes sharing a "
+                f"record (per-session rows stay exact)",
+                file=sys.stderr,
+            )
         # every simulated node ships the paper's shared fixed matrix ->
         # one operator group, batches fill across all of them
         for index in range(args.simulate):
@@ -450,6 +561,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     max_packets=args.packets,
                     interval_s=args.interval_ms / 1000.0,
                     lossy_channel=lossy,
+                    telemetry=registry,
                 )
             )
         try:
@@ -459,6 +571,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         finally:
             await gateway.close()
+            await _close_sinks(server, appender)
         failures = [o for o in outcomes if isinstance(o, BaseException)]
         for failure in failures:
             print(f"node client failed: {failure}", file=sys.stderr)
@@ -486,9 +599,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "resynced": result.windows_resynced,
                     "corrupt": result.frames_corrupt,
                     "dup": result.frames_duplicate,
-                    "max_latency_ms": _latency_ms_cell(
-                        report.max_gateway_latency_ms
-                    ),
+                    # None (no window ever decoded) renders as n/a via
+                    # the shared table helper — never as a perfect 0.0
+                    "max_latency_ms": report.max_gateway_latency_ms,
                     "mean_iters": (
                         sum(report.iterations)
                         / max(len(report.iterations), 1)
@@ -500,18 +613,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"live gateway: {args.simulate} nodes over TCP, "
             f"batch {args.batch_size}, flush {args.flush_ms:.0f} ms"
         )
+        if args.adaptive:
+            title += ", adaptive"
         if channel_template.impairs:
             title += (
                 f", channel loss={args.loss:g} reorder={args.reorder:g} "
                 f"dup={args.dup:g} corrupt={args.corrupt:g}"
             )
-        print(render_table(rows, title=title))
+        print(render_result_table(rows, title=title))
         print(
             f"{stats.windows_decoded} windows in {stats.batches} pooled "
             f"batches ({stats.cross_stream_batches} spanning streams; "
             f"flushes: {stats.flushes_full} full, "
             f"{stats.flushes_deadline} deadline, "
-            f"{stats.flushes_drain} drain)"
+            f"{stats.flushes_drain} drain, "
+            f"{stats.flushes_pressure} pressure)"
         )
         print(
             f"channel damage: {stats.windows_lost} windows lost, "
@@ -519,6 +635,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.frames_corrupt} corrupt frames, "
             f"{stats.frames_duplicate} duplicate/stale frames dropped"
         )
+        if args.adaptive:
+            controller = gateway.controller
+            print(
+                f"adaptive controller: effective batch "
+                f"{controller.effective_batch} (base {args.batch_size}), "
+                f"flush {1000 * controller.effective_flush_s:.0f} ms, "
+                f"{controller.widen_count} widen(s), "
+                f"{controller.shed_count} shed(s)"
+            )
         if failures or any(report.error for report in reports):
             return 1
         return 0

@@ -72,3 +72,8 @@ class PacketFormatError(ReproError):
 class ProtocolError(ReproError):
     """A gateway link violates the ingest wire protocol (bad frame,
     truncated stream, unsupported handshake...)."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """A telemetry metric, snapshot or sink is used inconsistently
+    (mismatched histogram buckets, malformed ring record, ...)."""

@@ -57,6 +57,7 @@ from ..core.packets import EncodedPacket
 from ..core.system import StreamResult, window_metrics
 from ..errors import ConfigurationError
 from ..solvers import BatchedFista
+from ..telemetry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from .scheduler import GroupSchedule, build_schedules, solve_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -258,16 +259,41 @@ def _group_resources(
     return resources
 
 
-def _worker_decode_group(group_task: dict) -> list[dict]:
+def _worker_telemetry_delta(
+    registry: MetricsRegistry, started: float, windows: int
+) -> dict:
+    """One pool task's telemetry delta, ready to cross the boundary.
+
+    Workers record into a registry created *for the task* and ship its
+    snapshot home as a plain dict; the parent absorbs each delta once,
+    so fan-in over any completion order aggregates exactly (the merge
+    algebra of :class:`~repro.telemetry.MetricsSnapshot`).
+    """
+    import os
+
+    worker = str(os.getpid())
+    registry.inc("fleet_worker_tasks", worker=worker)
+    registry.inc("fleet_worker_windows", windows, worker=worker)
+    registry.observe(
+        "fleet_worker_task_seconds",
+        time.perf_counter() - started,
+        worker=worker,
+    )
+    return registry.snapshot().to_dict()
+
+
+def _worker_decode_group(group_task: dict) -> dict:
     """Pool worker: decode one operator group from pickled primitives.
 
     The task dict carries, per stream: the scalar config fields, the
     Huffman codebook, the lambda fraction, the dc offset and the
     packets as wire bytes.  No arrays or operators cross the boundary
-    in either direction except the decoded results.
+    in either direction except the decoded results and the worker's
+    telemetry delta.
     """
     from ..config import SystemConfig
 
+    started = time.perf_counter()
     precision = group_task["precision"]
     dtype = np.float32 if precision == "float32" else np.float64
     streams = group_task["streams"]
@@ -299,14 +325,20 @@ def _worker_decode_group(group_task: dict) -> list[dict]:
         group_task["tolerance"],
         dtype,
     )
-    return [
-        {
-            "samples_adu": out.samples_adu,
-            "iterations": out.iterations,
-            "decode_seconds": out.decode_seconds,
-        }
-        for out in outputs
-    ]
+    registry = MetricsRegistry()
+    return {
+        "streams": [
+            {
+                "samples_adu": out.samples_adu,
+                "iterations": out.iterations,
+                "decode_seconds": out.decode_seconds,
+            }
+            for out in outputs
+        ],
+        "telemetry": _worker_telemetry_delta(
+            registry, started, schedule.total_windows
+        ),
+    }
 
 
 def solve_measurement_block(task: dict) -> dict:
@@ -329,11 +361,16 @@ def solve_measurement_block(task: dict) -> dict:
     Task keys: ``config`` (scalar :class:`~repro.config.SystemConfig`
     fields), ``precision``, ``block``, ``fractions``, ``batch_size``,
     ``max_iterations``, ``tolerance``.  Returns ``signals`` (``(n, B)``
-    float64, no dc offset), ``iterations`` (``(B,)``) and ``seconds``
-    (``(B,)`` — each column's share of its batch's wall clock).
+    float64, no dc offset), ``iterations`` (``(B,)``), ``seconds``
+    (``(B,)`` — each column's share of its batch's wall clock) and
+    ``telemetry`` — this call's metrics delta (recorded into a
+    registry created per call, so the caller can absorb every result's
+    delta exactly once, whatever order a pool completes them in).
     """
     from ..config import SystemConfig
 
+    task_started = time.perf_counter()
+    registry = MetricsRegistry()
     config = SystemConfig(**task["config"])
     solver, transform = _group_resources(config, task["precision"])
     block = task["block"]
@@ -354,11 +391,21 @@ def solve_measurement_block(task: dict) -> dict:
             tolerance=task["tolerance"],
         )
         batch_signals = transform.inverse_batch(result.coefficients)
-        share = (time.perf_counter() - started) / (stop - start)
+        elapsed = time.perf_counter() - started
+        share = elapsed / (stop - start)
         signals[:, start:stop] = np.asarray(batch_signals, dtype=np.float64)
         iterations[start:stop] = result.iterations
         seconds[start:stop] = share
-    return {"signals": signals, "iterations": iterations, "seconds": seconds}
+        registry.observe("fleet_solve_seconds", elapsed)
+        registry.observe(
+            "fleet_solve_width", stop - start, buckets=DEFAULT_SIZE_BUCKETS
+        )
+    return {
+        "signals": signals,
+        "iterations": iterations,
+        "seconds": seconds,
+        "telemetry": _worker_telemetry_delta(registry, task_started, total),
+    }
 
 
 def split_batches(num_batches: int, workers: int) -> list[tuple[int, int]]:
@@ -409,6 +456,7 @@ class FleetDecoder:
         self,
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(
@@ -420,6 +468,12 @@ class FleetDecoder:
             )
         self.batch_size = batch_size
         self.workers = workers
+        #: the telemetry plane this decoder publishes to: run/group
+        #: counters from the parent, solve histograms absorbed from
+        #: each worker task's returned delta snapshot
+        self.telemetry = (
+            telemetry if telemetry is not None else MetricsRegistry()
+        )
         #: groups scheduled, worker processes actually used and the
         #: sharding layout of the most recent :meth:`run` (1 worker =
         #: in-process) — the engine owns the fallback decision, so
@@ -457,6 +511,19 @@ class FleetDecoder:
             decodes = self._run_inprocess(encoded, schedules)
         self.last_shard_mode = mode
         self.last_effective_workers = effective
+        self.telemetry.inc("fleet_runs", mode=mode)
+        self.telemetry.inc(
+            "fleet_windows_decoded",
+            sum(len(stream.packets) for stream in encoded),
+        )
+        self.telemetry.set_gauge("fleet_groups", len(schedules))
+        self.telemetry.set_gauge("fleet_effective_workers", effective)
+        for index, schedule in enumerate(schedules):
+            self.telemetry.inc(
+                "fleet_group_windows",
+                schedule.total_windows,
+                group=f"g{index}",
+            )
         return [
             self._assemble(stream, decode)
             for stream, decode in zip(encoded, decodes)
@@ -622,8 +689,11 @@ class FleetDecoder:
             return None
 
         decodes: list[_StreamDecode | None] = [None] * len(encoded)
-        for schedule, outputs in zip(schedules, group_outputs):
-            for stream_id, out in zip(schedule.stream_ids, outputs):
+        for schedule, group_out in zip(schedules, group_outputs):
+            self.telemetry.absorb(group_out["telemetry"])
+            for stream_id, out in zip(
+                schedule.stream_ids, group_out["streams"]
+            ):
                 decodes[stream_id] = _StreamDecode(
                     samples_adu=out["samples_adu"],
                     iterations=out["iterations"],
@@ -694,6 +764,7 @@ class FleetDecoder:
         )
         dc_offsets = [m.dc_offset for m in members]
         for (col_start, col_stop), out in zip(slice_bounds, slice_outputs):
+            self.telemetry.absorb(out["telemetry"])
             _scatter_columns(
                 outputs,
                 schedule,

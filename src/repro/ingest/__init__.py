@@ -22,7 +22,19 @@ path a telecardiology coordinator actually runs:
   CRC-corrupting bit flips) plus the sequence-gap recovery state
   machine (:class:`SequenceTracker`, :func:`admit_packet`) the gateway
   runs per session, and :func:`replay_survivors`, the offline
-  reference over a recorded delivered-frame sequence.
+  reference over a recorded delivered-frame sequence;
+- :mod:`~repro.ingest.adaptive` — the AIMD batch controller
+  (:class:`AdaptiveBatchController`): steers the gateway's effective
+  batch width and flush deadline against the real-time budget from
+  the telemetry plane's solve-latency signals, adding the
+  budget-aware *pressure flush* to the full/deadline/drain triggers.
+
+Every gateway event — sessions, flushes, solve and window latencies,
+channel damage — publishes through one
+:class:`~repro.telemetry.MetricsRegistry`; the stat dataclasses
+(:class:`GatewayStats`, :class:`IngestStreamResult`) are read models
+over it, and the registry feeds the persistent sinks (`serve
+--metrics-file` / ``--metrics-port``).
 
 Decoded output is bit-identical to the offline path: a flushed block
 runs the same :func:`~repro.fleet.engine.solve_measurement_block` the
@@ -32,6 +44,12 @@ decode of the same surviving packet set, with the damage bounded by
 the keyframe interval and accounted per stream.
 """
 
+from .adaptive import (
+    AdaptiveBatchController,
+    AdaptiveConfig,
+    FixedBatchController,
+    SolveTimeModel,
+)
 from .channel import (
     FrameVerdict,
     LinkStats,
@@ -61,8 +79,12 @@ from .protocol import (
 )
 
 __all__ = [
+    "AdaptiveBatchController",
+    "AdaptiveConfig",
     "DEFAULT_FLUSH_MS",
+    "FixedBatchController",
     "FrameKind",
+    "SolveTimeModel",
     "FrameVerdict",
     "GatewayStats",
     "Handshake",

@@ -46,6 +46,7 @@ import numpy as np
 from ..core.decoder import PacketPayloadDecoder
 from ..core.packets import EncodedPacket
 from ..errors import ConfigurationError, PacketFormatError
+from ..telemetry import NULL_METER, Meter
 from .protocol import FrameKind
 
 _SEQ_MOD = 1 << 16
@@ -107,11 +108,18 @@ class SequenceTracker:
     (the node encoder resets before streaming), so the tracker starts
     expecting 0 and a lost *first* packet is accounted like any other
     gap.
+
+    Damage events flow through the ``count_*`` methods, which keep the
+    :class:`LossAccounting` view and publish the same event to the
+    tracker's telemetry :class:`~repro.telemetry.Meter` (the gateway
+    binds one labeled with the stream identity; the default null meter
+    keeps offline replays dependency-free).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, meter: Meter = NULL_METER) -> None:
         self.expected = 0
         self.accounting = LossAccounting()
+        self.meter = meter
 
     def delta(self, sequence: int) -> int:
         """Signed distance of ``sequence`` from the expected next one."""
@@ -120,6 +128,23 @@ class SequenceTracker:
     def advance(self, sequence: int) -> None:
         """Move past ``sequence``: the next expected follows it."""
         self.expected = (sequence + 1) % _SEQ_MOD
+
+    # -- damage accounting (view + telemetry, one call site each) ------
+    def count_lost(self, windows: int) -> None:
+        self.accounting.windows_lost += windows
+        self.meter.inc("ingest_windows_lost", windows)
+
+    def count_resynced(self) -> None:
+        self.accounting.windows_resynced += 1
+        self.meter.inc("ingest_windows_resynced")
+
+    def count_corrupt(self) -> None:
+        self.accounting.frames_corrupt += 1
+        self.meter.inc("ingest_frames_corrupt")
+
+    def count_duplicate(self) -> None:
+        self.accounting.frames_duplicate += 1
+        self.meter.inc("ingest_frames_duplicate")
 
     def close_stream(self, windows_sent: int) -> None:
         """Account the tail gap of an orderly stream end.
@@ -131,7 +156,7 @@ class SequenceTracker:
         final = windows_sent % _SEQ_MOD
         gap = self.delta(final)
         if gap > 0:
-            self.accounting.windows_lost += gap
+            self.count_lost(gap)
             self.expected = final
 
 
@@ -157,19 +182,19 @@ def admit_packet(
         # window, the next good frame exposes the gap and the window is
         # charged to windows_lost there.  The difference reference may
         # now be stale, so stage 2 resyncs to the next keyframe.
-        tracker.accounting.frames_corrupt += 1
+        tracker.count_corrupt()
         payload.resync()
         return FrameVerdict.CORRUPT, None
     delta = tracker.delta(packet.sequence)
     if delta < 0:
-        tracker.accounting.frames_duplicate += 1
+        tracker.count_duplicate()
         return FrameVerdict.STALE, packet
     if delta > 0:
-        tracker.accounting.windows_lost += delta
+        tracker.count_lost(delta)
         payload.resync()
     tracker.advance(packet.sequence)
     if payload.skip_to_keyframe(packet):
-        tracker.accounting.windows_resynced += 1
+        tracker.count_resynced()
         return FrameVerdict.RESYNC_SKIP, packet
     return FrameVerdict.ACCEPT, packet
 
@@ -296,9 +321,10 @@ class LossyChannel:
             or self.drop_sequences
         )
 
-    def wrap(self, writer) -> "LossyLink":
-        """A :class:`LossyLink` applying this channel to ``writer``."""
-        return LossyLink(writer, self)
+    def wrap(self, writer, meter: Meter = NULL_METER) -> "LossyLink":
+        """A :class:`LossyLink` applying this channel to ``writer``;
+        frame fates are mirrored to ``meter`` when one is given."""
+        return LossyLink(writer, self, meter=meter)
 
 
 class LossyLink:
@@ -312,10 +338,16 @@ class LossyLink:
     data they followed).
     """
 
-    def __init__(self, writer, channel: LossyChannel) -> None:
+    def __init__(
+        self, writer, channel: LossyChannel, meter: Meter = NULL_METER
+    ) -> None:
         self._writer = writer
         self.channel = channel
         self.stats = LinkStats()
+        #: telemetry mirror of the frame-fate counters: every fate is
+        #: published as ``link_frames{fate=...}`` alongside the
+        #: :class:`LinkStats` ground-truth view
+        self.meter = meter
         self._rng = np.random.default_rng(channel.seed)
         self._buffer = bytearray()
         #: reordered frames in flight: [frames_still_to_let_pass, frame]
@@ -373,6 +405,7 @@ class LossyLink:
 
     def _impair(self, frame: bytes) -> None:
         self.stats.frames_seen += 1
+        self.meter.inc("link_frames", fate="seen")
         sequence = self._sequence_of(frame)
         forced = sequence in self._forced_drops
         if forced:
@@ -380,18 +413,22 @@ class LossyLink:
         if forced or self._rng.random() < self.channel.loss:
             self.stats.frames_dropped += 1
             self.stats.dropped_sequences.append(sequence)
+            self.meter.inc("link_frames", fate="dropped")
             self._tick_held()
             return
         if self.channel.corrupt and self._rng.random() < self.channel.corrupt:
             frame = self._flip_one_bit(frame)
             self.stats.frames_corrupted += 1
             self.stats.corrupted_sequences.append(sequence)
+            self.meter.inc("link_frames", fate="corrupted")
         if self.channel.duplicate and self._rng.random() < self.channel.duplicate:
             self.stats.frames_duplicated += 1
+            self.meter.inc("link_frames", fate="duplicated")
             self._deliver(frame)
         if self.channel.reorder and self._rng.random() < self.channel.reorder:
             delay = int(self._rng.integers(1, self.channel.reorder_window + 1))
             self.stats.frames_reordered += 1
+            self.meter.inc("link_frames", fate="reordered")
             self._held.append([delay, frame])
             return
         self._deliver(frame)
@@ -413,6 +450,7 @@ class LossyLink:
         their peers."""
         self.stats.frames_delivered += 1
         self.stats.delivered.append(frame[_FRAME_PREFIX + 1 :])
+        self.meter.inc("link_frames", fate="delivered")
         self._writer.write(frame)
 
     def _deliver(self, frame: bytes) -> None:

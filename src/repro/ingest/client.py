@@ -20,6 +20,7 @@ from ..core.packets import EncodedPacket
 from ..core.system import EcgMonitorSystem
 from ..ecg.records import Record
 from ..errors import ProtocolError
+from ..telemetry import NULL_METER, MetricsRegistry
 from .channel import LossyChannel, LossyLink
 from .protocol import (
     FrameKind,
@@ -101,6 +102,7 @@ class NodeClient:
         max_packets: int | None = None,
         interval_s: float | None = 0.0,
         lossy_channel: LossyChannel | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.record = record
@@ -110,6 +112,9 @@ class NodeClient:
             system.config.packet_seconds if interval_s is None else interval_s
         )
         self.lossy_channel = lossy_channel
+        #: optional telemetry registry: the node's lossy link mirrors
+        #: its frame fates into it, labeled with the stream identity
+        self.telemetry = telemetry
         self.last_link: LossyLink | None = None
 
     def handshake(self) -> Handshake:
@@ -138,7 +143,14 @@ class NodeClient:
         if self.lossy_channel is not None and self.lossy_channel.impairs:
             # the simulated radio hop: PACKET frames may be dropped /
             # reordered / duplicated / bit-flipped past this point
-            self.last_link = self.lossy_channel.wrap(writer)
+            meter = (
+                self.telemetry.meter(
+                    stream=f"{self.record.name}:{self.channel}"
+                )
+                if self.telemetry is not None
+                else NULL_METER
+            )
+            self.last_link = self.lossy_channel.wrap(writer, meter=meter)
             writer = self.last_link
         else:
             self.last_link = None

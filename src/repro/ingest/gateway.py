@@ -74,6 +74,12 @@ from ..errors import (
 )
 from ..fleet.engine import solve_measurement_block
 from ..fleet.scheduler import solve_key
+from ..telemetry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from .adaptive import (
+    AdaptiveBatchController,
+    AdaptiveConfig,
+    FixedBatchController,
+)
 from .channel import FrameVerdict, SequenceTracker, admit_packet
 from .protocol import (
     PROTOCOL_VERSION,
@@ -127,7 +133,13 @@ class _LoopbackWriter:
 
 @dataclass
 class _PendingWindow:
-    """One dequantized measurement column waiting for a solve."""
+    """One dequantized measurement column waiting for a solve.
+
+    Carries only its arrival stamp; flush deadlines are computed at
+    decision time from the controller's *current* effective flush
+    interval, so an adaptive gateway can tighten the deadline of
+    windows already waiting.
+    """
 
     session: "_Session"
     index: int  # window index within the session
@@ -135,7 +147,6 @@ class _PendingWindow:
     column: np.ndarray  # (m,) in the group's dtype
     fraction: float  # the stream's lambda fraction
     t_submit: float  # loop time at frame arrival (before backpressure)
-    deadline: float  # t_submit + flush interval
 
 
 @dataclass
@@ -174,6 +185,18 @@ class IngestStreamResult:
         return len(self.sequences)
 
     @property
+    def stream_key(self) -> str:
+        """Stream identity: ``record:channel``.
+
+        Stable across reconnects — the telemetry plane labels every
+        per-stream series with this key, so a node that drops its link
+        and returns lands back in the *same* series instead of forking
+        a second one, and :meth:`IngestGateway.merged_results`
+        aggregates its sessions under this key.
+        """
+        return f"{self.record}:{self.channel}"
+
+    @property
     def max_latency_s(self) -> float | None:
         """Worst frame-arrival-to-reconstruction latency observed, or
         ``None`` when no window was ever decoded (distinct from a true
@@ -208,16 +231,34 @@ class IngestStreamResult:
 
 @dataclass
 class GatewayStats:
-    """Aggregate counters of one gateway's lifetime."""
+    """Aggregate view of one gateway's lifetime.
+
+    Since the telemetry refactor this dataclass is a *read model*: the
+    gateway publishes every event to its
+    :class:`~repro.telemetry.MetricsRegistry` and
+    :attr:`IngestGateway.stats` materializes this view from a registry
+    snapshot on access.  The field vocabulary (and the tests that read
+    it) are unchanged; the counters now also persist through the
+    metrics sinks and merge across process-pool workers.
+
+    ``streams`` counts distinct stream identities (``record:channel``)
+    rather than sessions: a reconnecting stream id contributes one
+    stream however many sessions it opened (``sessions_opened`` keeps
+    counting sessions).
+    """
 
     sessions_opened: int = 0
     sessions_completed: int = 0
     sessions_errored: int = 0
+    #: distinct stream identities served (a reconnect is not a new one)
+    streams: int = 0
     windows_decoded: int = 0
     batches: int = 0
     flushes_full: int = 0
     flushes_deadline: int = 0
     flushes_drain: int = 0
+    #: adaptive-mode flushes forced by the budget-pressure rule
+    flushes_pressure: int = 0
     cross_stream_batches: int = 0
     #: lossy-channel damage across all sessions (see channel.py)
     windows_lost: int = 0
@@ -238,6 +279,7 @@ class _Session:
         handshake: Handshake,
         writer,
         max_pending: int,
+        telemetry: MetricsRegistry,
     ) -> None:
         self.id = session_id
         self.handshake = handshake
@@ -251,7 +293,11 @@ class _Session:
         )
         self.quota = asyncio.Semaphore(max_pending)
         self.group: "_GroupPool | None" = None  # set by the gateway
-        self.tracker = SequenceTracker()
+        # telemetry series are labeled by stream identity, not session
+        # id: a reconnecting node keeps accumulating its own series
+        self.stream_key = f"{handshake.record}:{handshake.channel}"
+        self.meter = telemetry.meter(stream=self.stream_key)
+        self.tracker = SequenceTracker(meter=self.meter)
         self.windows_submitted = 0
         self.outstanding = 0
         self.closed = False
@@ -273,8 +319,11 @@ class _Session:
 class _GroupPool:
     """Pending measurement columns of one operator group."""
 
-    def __init__(self, key: tuple, config, precision: str) -> None:
+    def __init__(
+        self, key: tuple, config, precision: str, label: str = "g0"
+    ) -> None:
         self.key = key
+        self.label = label  # short stable telemetry label ("g0", "g1")
         self.config = config
         self.precision = precision
         self.dtype = np.float32 if precision == "float32" else np.float64
@@ -310,7 +359,25 @@ class IngestGateway:
     max_pending:
         Per-stream backpressure bound: a session stops reading frames
         while this many of its windows await decoding.  Default
-        ``4 * batch_size``.
+        ``4 * batch_size`` (``4 * max_batch`` in adaptive mode, so the
+        widened operating point can actually fill).
+    telemetry:
+        The :class:`~repro.telemetry.MetricsRegistry` every event is
+        published to; a private registry is created when omitted.
+        :attr:`stats` and each stream's damage accounting are read
+        models over this registry.
+    adaptive:
+        Enable the AIMD batch controller
+        (:class:`~repro.ingest.adaptive.AdaptiveBatchController`):
+        the effective batch width and flush deadline track load
+        against the real-time budget instead of staying at the
+        configured values.  With no backlog and no budget threat the
+        controller holds the configured operating point, so a
+        steady-state adaptive run reproduces the fixed-batch flush
+        schedule exactly.
+    adaptive_config:
+        Optional :class:`~repro.ingest.adaptive.AdaptiveConfig`
+        (budget, thresholds, step sizes) for ``adaptive=True``.
     """
 
     def __init__(
@@ -319,6 +386,9 @@ class IngestGateway:
         flush_ms: float = DEFAULT_FLUSH_MS,
         workers: int | None = None,
         max_pending: int | None = None,
+        telemetry: MetricsRegistry | None = None,
+        adaptive: bool = False,
+        adaptive_config: AdaptiveConfig | None = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(
@@ -337,10 +407,25 @@ class IngestGateway:
         self.batch_size = batch_size
         self.flush_s = flush_ms / 1000.0
         self.workers = workers if workers else 1
-        self.max_pending = (
-            max_pending if max_pending is not None else 4 * batch_size
-        )
-        self.stats = GatewayStats()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.adaptive = bool(adaptive)
+        if self.adaptive:
+            self.controller: (
+                AdaptiveBatchController | FixedBatchController
+            ) = AdaptiveBatchController(
+                batch_size,
+                self.flush_s,
+                config=adaptive_config,
+                meter=self.telemetry.meter(),
+            )
+        else:
+            self.controller = FixedBatchController(batch_size, self.flush_s)
+        if max_pending is not None:
+            self.max_pending = max_pending
+        elif self.adaptive:
+            self.max_pending = 4 * self.controller.max_batch
+        else:
+            self.max_pending = 4 * batch_size
         #: completed stream results, in session-open order
         self.results: list[IngestStreamResult] = []
         #: per-flush composition log: ``(group_key, [(session_id,
@@ -359,6 +444,90 @@ class IngestGateway:
         self._process_pool: ProcessPoolExecutor | None = None
         self._inflight: asyncio.Semaphore | None = None
         self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # telemetry read models
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> GatewayStats:
+        """The aggregate :class:`GatewayStats` view, materialized from
+        the telemetry registry on access."""
+        snap = self.telemetry.snapshot()
+
+        def total(name: str) -> int:
+            return int(snap.counter_total(name))
+
+        def flushes(reason: str) -> int:
+            return int(snap.counter_value("ingest_flushes", reason=reason))
+
+        latency = snap.histogram_total("ingest_window_latency_seconds")
+        return GatewayStats(
+            sessions_opened=total("ingest_sessions_opened"),
+            sessions_completed=total("ingest_sessions_completed"),
+            sessions_errored=total("ingest_sessions_errored"),
+            streams=len(
+                snap.label_values("ingest_sessions_opened", "stream")
+            ),
+            windows_decoded=total("ingest_windows_decoded"),
+            batches=total("ingest_flushes"),
+            flushes_full=flushes("full"),
+            flushes_deadline=flushes("deadline"),
+            flushes_drain=flushes("drain"),
+            flushes_pressure=flushes("pressure"),
+            cross_stream_batches=total("ingest_cross_stream_batches"),
+            windows_lost=total("ingest_windows_lost"),
+            windows_resynced=total("ingest_windows_resynced"),
+            frames_corrupt=total("ingest_frames_corrupt"),
+            frames_duplicate=total("ingest_frames_duplicate"),
+            max_latency_s=(
+                latency.max if latency is not None and latency.total else None
+            ),
+        )
+
+    def merged_results(self) -> dict[str, IngestStreamResult]:
+        """Completed results aggregated per stream identity.
+
+        A node that reconnects opens a new *session*, but it is still
+        the same *stream* (``record:channel``); counting its sessions
+        as two streams — and reading only the newest session's
+        counters — silently dropped the first session's damage
+        accounting.  This view merges each stream's sessions in
+        session order: per-window lists concatenate (window indices
+        re-based so :attr:`IngestStreamResult.indices` stays
+        monotonic across the reconnect), damage counters sum,
+        ``clean_close`` reflects the final session and the first
+        error (if any) is preserved.
+        """
+        merged: dict[str, IngestStreamResult] = {}
+        for result in sorted(self.results, key=lambda r: r.session_id):
+            key = result.stream_key
+            previous = merged.get(key)
+            if previous is None:
+                merged[key] = dataclasses.replace(
+                    result,
+                    indices=list(result.indices),
+                    sequences=list(result.sequences),
+                    iterations=list(result.iterations),
+                    decode_seconds=list(result.decode_seconds),
+                    latencies_s=list(result.latencies_s),
+                    samples_adu=list(result.samples_adu),
+                )
+                continue
+            offset = max(previous.indices, default=-1) + 1
+            previous.indices.extend(i + offset for i in result.indices)
+            previous.sequences.extend(result.sequences)
+            previous.iterations.extend(result.iterations)
+            previous.decode_seconds.extend(result.decode_seconds)
+            previous.latencies_s.extend(result.latencies_s)
+            previous.samples_adu.extend(result.samples_adu)
+            previous.windows_lost += result.windows_lost
+            previous.windows_resynced += result.windows_resynced
+            previous.frames_corrupt += result.frames_corrupt
+            previous.frames_duplicate += result.frames_duplicate
+            previous.clean_close = result.clean_close
+            if previous.error is None:
+                previous.error = result.error
+        return merged
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -477,9 +646,12 @@ class IngestGateway:
                         f"unexpected {kind.name} frame from a node"
                     )
         except (ProtocolError, PacketFormatError, DecodingError) as exc:
-            self.stats.sessions_errored += 1
             if session is not None:
+                session.meter.inc("ingest_sessions_errored")
                 session.result.error = str(exc)
+            else:
+                # failed before the handshake: no stream to label
+                self.telemetry.inc("ingest_sessions_errored")
             try:
                 writer.write(
                     encode_json_frame(FrameKind.ERROR, {"error": str(exc)})
@@ -501,14 +673,23 @@ class IngestGateway:
     def _register(self, handshake: Handshake, writer) -> _Session:
         """Admit a handshaken link: create its session and group."""
         session = _Session(
-            self._next_session_id, handshake, writer, self.max_pending
+            self._next_session_id,
+            handshake,
+            writer,
+            self.max_pending,
+            self.telemetry,
         )
         self._next_session_id += 1
         self._sessions[session.id] = session
-        self.stats.sessions_opened += 1
+        session.meter.inc("ingest_sessions_opened")
         key = solve_key(handshake.config, handshake.precision)
         if key not in self._groups:
-            group = _GroupPool(key, handshake.config, handshake.precision)
+            group = _GroupPool(
+                key,
+                handshake.config,
+                handshake.precision,
+                label=f"g{len(self._groups)}",
+            )
             group.drain_task = asyncio.create_task(self._drain(group))
             self._groups[key] = group
         session.group = self._groups[key]
@@ -548,12 +729,14 @@ class IngestGateway:
             column=column,
             fraction=session.handshake.config.lam,
             t_submit=arrived,
-            deadline=arrived + self.flush_s,
         )
         session.windows_submitted += 1
         session.outstanding += 1
         group = session.group
         group.pending.append(window)
+        self.telemetry.set_gauge(
+            "ingest_queue_depth", len(group.pending), group=group.label
+        )
         group.event.set()
 
     async def _finalize(self, session: _Session) -> None:
@@ -568,41 +751,63 @@ class IngestGateway:
         self._sessions.pop(session.id, None)
         # concurrent batch solves may have completed out of order:
         # restore stream order so callers see windows as the node sent
-        # them, then publish the stream's damage accounting
+        # them, then copy the stream's damage accounting into the
+        # result view (the telemetry counters were published live by
+        # the session's SequenceTracker meter)
         result = session.result.ordered()
         accounting = session.tracker.accounting
         result.windows_lost = accounting.windows_lost
         result.windows_resynced = accounting.windows_resynced
         result.frames_corrupt = accounting.frames_corrupt
         result.frames_duplicate = accounting.frames_duplicate
-        self.stats.windows_lost += accounting.windows_lost
-        self.stats.windows_resynced += accounting.windows_resynced
-        self.stats.frames_corrupt += accounting.frames_corrupt
-        self.stats.frames_duplicate += accounting.frames_duplicate
         self.results.append(result)
         if session.result.error is None:
-            self.stats.sessions_completed += 1
+            session.meter.inc("ingest_sessions_completed")
 
     # ------------------------------------------------------------------
     # batching and decode
     # ------------------------------------------------------------------
+    def _flush_plan(
+        self, group: _GroupPool, now: float
+    ) -> tuple[str | None, float]:
+        """Decide whether (and why) to flush this group right now.
+
+        Returns ``(reason, next_due)``: a non-``None`` reason means
+        flush immediately; otherwise ``next_due`` is the loop time at
+        which the earliest trigger fires.  Triggers, in precedence
+        order: batch full at the controller's *effective* width,
+        flush-on-idle deadline at the effective interval, orphaned
+        windows of an ended stream, and (adaptive mode) the
+        budget-pressure rule — flush now if waiting longer would,
+        per the solve-time model, push the oldest window past the
+        real-time budget.
+        """
+        controller = self.controller
+        oldest = group.pending[0]
+        if len(group.pending) >= controller.effective_batch:
+            return "full", now
+        deadline_at = oldest.t_submit + controller.effective_flush_s
+        if now >= deadline_at:
+            return "deadline", now
+        if group.has_orphans():
+            return "drain", now
+        pressure_at = controller.pressure_due_at(
+            oldest.t_submit, len(group.pending)
+        )
+        if now >= pressure_at:
+            return "pressure", now
+        return None, min(deadline_at, pressure_at)
+
     async def _drain(self, group: _GroupPool) -> None:
-        """Per-group flush loop: full batches, deadlines, drains."""
+        """Per-group flush loop: full / deadline / drain / pressure."""
         loop = asyncio.get_running_loop()
         while True:
             if group.pending:
-                now = loop.time()
-                full = len(group.pending) >= self.batch_size
-                expired = now >= group.pending[0].deadline
-                if full or expired or group.has_orphans():
-                    reason = (
-                        "full"
-                        if full
-                        else ("deadline" if expired else "drain")
-                    )
+                reason, next_due = self._flush_plan(group, loop.time())
+                if reason is not None:
                     await self._dispatch(group, reason)
                     continue
-                timeout = group.pending[0].deadline - now
+                timeout = max(next_due - loop.time(), 0.0)
             else:
                 timeout = None
             try:
@@ -613,16 +818,19 @@ class IngestGateway:
 
     async def _dispatch(self, group: _GroupPool, reason: str) -> None:
         """Pop up to one batch of pending columns and solve it."""
-        count = min(self.batch_size, len(group.pending))
+        count = min(self.controller.effective_batch, len(group.pending))
         batch = [group.pending.popleft() for _ in range(count)]
-        self.stats.batches += 1
-        setattr(
-            self.stats,
-            f"flushes_{reason}",
-            getattr(self.stats, f"flushes_{reason}") + 1,
+        self.telemetry.inc("ingest_flushes", reason=reason)
+        self.telemetry.observe(
+            "ingest_flush_width",
+            count,
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self.telemetry.set_gauge(
+            "ingest_queue_depth", len(group.pending), group=group.label
         )
         if len({w.session.id for w in batch}) > 1:
-            self.stats.cross_stream_batches += 1
+            self.telemetry.inc("ingest_cross_stream_batches")
         self.batch_log.append(
             (group.key, [(w.session.id, w.index) for w in batch], reason)
         )
@@ -634,11 +842,12 @@ class IngestGateway:
             "fractions": np.asarray(
                 [w.fraction for w in batch], dtype=np.float64
             ),
-            "batch_size": self.batch_size,
+            "batch_size": max(count, 1),
             "max_iterations": group.config.max_iterations,
             "tolerance": group.config.tolerance,
         }
         loop = asyncio.get_running_loop()
+        started = loop.time()
         if self.workers >= 2 and self._process_pool is None:
             try:
                 self._process_pool = ProcessPoolExecutor(
@@ -656,10 +865,16 @@ class IngestGateway:
                 self.workers = 1
         if self.workers >= 2:
             await self._inflight.acquire()
+            # restamp after the slot wait: the controller's solve-time
+            # signal must measure the solve, not pool contention — a
+            # queueing delay blamed on the width would shed spuriously
+            started = loop.time()
             future = loop.run_in_executor(
                 self._process_pool, solve_measurement_block, task
             )
-            solve = asyncio.create_task(self._route_async(batch, future))
+            solve = asyncio.create_task(
+                self._route_async(batch, future, group, reason, started)
+            )
             self._solve_tasks.add(solve)
             solve.add_done_callback(self._solve_tasks.discard)
         else:
@@ -677,8 +892,11 @@ class IngestGateway:
                 self._fail_batch(batch, exc)
             else:
                 self._route(batch, out)
+                self._observe_flush(group, reason, len(batch), started)
 
-    async def _route_async(self, batch, future) -> None:
+    async def _route_async(
+        self, batch, future, group: _GroupPool, reason: str, started: float
+    ) -> None:
         """Await a process-pool solve, then scatter the results."""
         try:
             out = await future
@@ -688,6 +906,20 @@ class IngestGateway:
             return
         self._inflight.release()
         self._route(batch, out)
+        self._observe_flush(group, reason, len(batch), started)
+
+    def _observe_flush(
+        self, group: _GroupPool, reason: str, width: int, started: float
+    ) -> None:
+        """Feed one completed flush back into telemetry + controller."""
+        solve_seconds = asyncio.get_running_loop().time() - started
+        self.telemetry.observe("ingest_solve_seconds", solve_seconds)
+        self.controller.observe_flush(
+            width, solve_seconds, len(group.pending), reason
+        )
+        # the operating point may have moved: wake the drain loop so
+        # waiting windows are re-planned against the new width/deadline
+        group.event.set()
 
     def _fail_batch(self, batch: list[_PendingWindow], exc: Exception) -> None:
         """A solve died: unblock its windows so nothing deadlocks.
@@ -708,7 +940,7 @@ class IngestGateway:
             session = window.session
             if session.result.error is None:
                 session.result.error = message
-                self.stats.sessions_errored += 1
+                session.meter.inc("ingest_sessions_errored")
                 self._send_json(
                     session, FrameKind.ERROR, {"error": message}
                 )
@@ -719,6 +951,12 @@ class IngestGateway:
     def _route(self, batch: list[_PendingWindow], out: dict) -> None:
         """Scatter one solved block back to its streams, in order."""
         t_done = asyncio.get_running_loop().time()
+        # a process-pool worker records its own delta snapshot and
+        # ships it home with the results; merging here is what keeps
+        # the plane whole across the pool boundary
+        worker_delta = out.get("telemetry")
+        if worker_delta is not None:
+            self.telemetry.absorb(worker_delta)
         for column, window in enumerate(batch):
             session = window.session
             samples = out["signals"][:, column] + session.dc_offset
@@ -732,13 +970,11 @@ class IngestGateway:
             result.decode_seconds.append(seconds)
             result.latencies_s.append(latency)
             result.samples_adu.append(samples)
-            self.stats.windows_decoded += 1
-            if self.stats.max_latency_s is None:
-                self.stats.max_latency_s = latency
-            else:
-                self.stats.max_latency_s = max(
-                    self.stats.max_latency_s, latency
-                )
+            session.meter.inc("ingest_windows_decoded")
+            self.telemetry.observe(
+                "ingest_window_latency_seconds", latency
+            )
+            self.controller.record_latency(latency)
             accounting = session.tracker.accounting
             self._send_json(
                 session,

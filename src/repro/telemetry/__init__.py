@@ -1,0 +1,74 @@
+"""The unified telemetry plane of the decode stack.
+
+One process-wide metrics core (:mod:`~repro.telemetry.core`) replaces
+the five accounting islands that grew up around the pipeline — gateway
+stats, per-stream ingest results, lossy-link/loss accounting, fleet
+scheduler counters and the realtime processor ledger — with labeled
+counters, gauges and percentile-capable histograms whose snapshots
+merge associatively across process-pool workers.
+
+Two persistent sinks (:mod:`~repro.telemetry.sinks`) give a
+long-running ``serve`` memory beyond stdout: a bounded JSONL ring file
+that replays to the final snapshot after a crash, and the Prometheus
+text exposition served over HTTP by
+:class:`~repro.telemetry.exposition.MetricsServer`.  The shared table
+views (:mod:`~repro.telemetry.views`) render any snapshot — and any
+CLI result table — with ``n/a`` handling in exactly one place.
+
+The adaptive batch controller
+(:class:`~repro.ingest.adaptive.AdaptiveBatchController`) closes the
+loop: it reads the plane's solve-latency percentiles and queue depths
+and steers the gateway's effective batch width and flush deadline
+against the paper's 2-second real-time budget.
+"""
+
+from .core import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_METER,
+    HistogramSnapshot,
+    Meter,
+    MetricsRegistry,
+    MetricsSnapshot,
+    label_key,
+)
+from .exposition import MetricsServer, scrape_local
+from .sinks import (
+    RING_SCHEMA,
+    JsonlRingSink,
+    exposition_matches_snapshot,
+    iter_ring_records,
+    parse_prometheus,
+    render_prometheus,
+    replay_ring,
+)
+from .views import (
+    na,
+    render_result_table,
+    render_snapshot_table,
+    snapshot_rows,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "HistogramSnapshot",
+    "JsonlRingSink",
+    "Meter",
+    "MetricsRegistry",
+    "MetricsServer",
+    "MetricsSnapshot",
+    "NULL_METER",
+    "RING_SCHEMA",
+    "exposition_matches_snapshot",
+    "iter_ring_records",
+    "label_key",
+    "na",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_result_table",
+    "render_snapshot_table",
+    "replay_ring",
+    "scrape_local",
+    "snapshot_rows",
+]

@@ -1,0 +1,102 @@
+"""Minimal asyncio HTTP endpoint serving the Prometheus exposition.
+
+``repro-ecg serve --metrics-port N`` binds this next to the ingest
+gateway: any HTTP GET (conventionally ``/metrics``) receives the
+current registry rendered by
+:func:`~repro.telemetry.sinks.render_prometheus`.  It is deliberately
+tiny — one response per connection, no routing, no keep-alive — which
+is all a scrape loop (or ``curl``) needs, and keeps the dependency
+surface at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+
+from .core import MetricsRegistry, MetricsSnapshot
+from .sinks import render_prometheus
+
+
+class MetricsServer:
+    """One TCP listener answering every request with the exposition."""
+
+    def __init__(
+        self, source: MetricsRegistry | Callable[[], MetricsSnapshot]
+    ) -> None:
+        self._source = source
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    def _snapshot(self) -> MetricsSnapshot:
+        if isinstance(self._source, MetricsRegistry):
+            return self._source.snapshot()
+        return self._source()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the listener; returns the actual port."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            # consume the request head; the content is irrelevant —
+            # every path serves the exposition
+            try:
+                await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=5.0
+                )
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                asyncio.TimeoutError,
+            ):
+                return
+            body = render_prometheus(self._snapshot()).encode("utf-8")
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # scraper went away mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+
+async def scrape_local(port: int, host: str = "127.0.0.1") -> str:
+    """Fetch one exposition over HTTP (test/bench helper, no deps)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/1.1 200"):
+        raise ConnectionError(
+            f"metrics endpoint answered {head.splitlines()[0]!r}"
+        )
+    return body.decode("utf-8")
+
+
+__all__ = ["MetricsServer", "scrape_local"]

@@ -1,0 +1,124 @@
+"""Human-facing views of telemetry: tables with uniform n/a handling.
+
+The CLI used to hand-roll each subcommand's result table (``fleet``
+and ``serve --simulate`` each built their own aligned rows, each with
+its own idea of how to print a missing latency).  These helpers are
+the one shared path:
+
+- :func:`na` / :func:`render_result_table` — dict-rows in,
+  aligned text out, with ``None`` rendered as ``n/a`` in exactly one
+  place ("no data" must never masquerade as a perfect 0.0);
+- :func:`snapshot_rows` / :func:`render_snapshot_table` — render *any*
+  :class:`~repro.telemetry.core.MetricsSnapshot` as a table, so every
+  telemetry-backed surface gets a uniform printout for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..experiments.reporting import render_table
+from .core import MetricsSnapshot
+
+
+def na(value: object) -> object:
+    """Render-missing marker: ``None`` becomes ``"n/a"``.
+
+    The single place "no data" turns into text — a latency column with
+    no decoded window must read as no-data, never as 0.0 ms.
+    """
+    return "n/a" if value is None else value
+
+
+def render_result_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Aligned text table of dict rows with uniform ``n/a`` cells."""
+    cleaned = [
+        {key: na(value) for key, value in row.items()} for row in rows
+    ]
+    return render_table(
+        cleaned, columns=columns, title=title, precision=precision
+    )
+
+
+def snapshot_rows(
+    snapshot: MetricsSnapshot, prefix: str | None = None
+) -> list[dict[str, object]]:
+    """Flatten a snapshot into printable metric rows.
+
+    Counters and gauges render their value; histograms render count,
+    p50/p95 and max.  ``prefix`` filters by metric-name prefix so a
+    surface can print just its own plane slice.
+    """
+    def keep(name: str) -> bool:
+        return prefix is None or name.startswith(prefix)
+
+    def label_text(labels: tuple[tuple[str, str], ...]) -> str:
+        return ",".join(f"{k}={v}" for k, v in labels) if labels else "-"
+
+    rows: list[dict[str, object]] = []
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        if keep(name):
+            rows.append(
+                {
+                    "metric": name,
+                    "labels": label_text(labels),
+                    "kind": "counter",
+                    "value": value,
+                    "p50": None,
+                    "p95": None,
+                    "max": None,
+                }
+            )
+    for (name, labels), (_, value) in sorted(snapshot.gauges.items()):
+        if keep(name):
+            rows.append(
+                {
+                    "metric": name,
+                    "labels": label_text(labels),
+                    "kind": "gauge",
+                    "value": value,
+                    "p50": None,
+                    "p95": None,
+                    "max": None,
+                }
+            )
+    for (name, labels), hist in sorted(snapshot.histograms.items()):
+        if keep(name):
+            rows.append(
+                {
+                    "metric": name,
+                    "labels": label_text(labels),
+                    "kind": "histogram",
+                    "value": hist.total,
+                    "p50": hist.percentile(50),
+                    "p95": hist.percentile(95),
+                    "max": hist.max,
+                }
+            )
+    return rows
+
+
+def render_snapshot_table(
+    snapshot: MetricsSnapshot,
+    title: str | None = None,
+    prefix: str | None = None,
+    precision: int = 4,
+) -> str:
+    """One aligned table of every (filtered) series in a snapshot."""
+    rows = snapshot_rows(snapshot, prefix=prefix)
+    if not rows:
+        return (title + "\n" if title else "") + "(no telemetry recorded)"
+    return render_result_table(rows, title=title, precision=precision)
+
+
+__all__ = [
+    "na",
+    "render_result_table",
+    "render_snapshot_table",
+    "snapshot_rows",
+]

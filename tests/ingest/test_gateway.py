@@ -997,3 +997,243 @@ class TestTcpTransport:
             gateway.results[0],
             _serial_reference(system, record, max_packets=3),
         )
+
+
+class TestStreamReconnect:
+    """Regression: a reconnecting stream id must aggregate as ONE
+    stream — previously per-stream aggregation keyed by session lost
+    the first session's counters and counted the stream twice."""
+
+    def _run_two_sessions(self, config, record, system):
+        packets = encoded_packets(system, record, max_packets=6)
+
+        async def run():
+            gateway = IngestGateway(batch_size=4, flush_ms=50.0)
+            # session 1: windows 0-1 delivered, window 2 lost, then the
+            # link drops mid-stream (no BYE)
+            reader, writer = gateway.connect_local()
+            writer.write(
+                Handshake(
+                    record=record.name,
+                    channel=0,
+                    config=system.config,
+                    codebook=system.encoder.codebook,
+                ).to_frame()
+            )
+            for packet in (packets[0], packets[1], packets[3]):
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            await asyncio.sleep(0.2)
+            writer.close()  # mid-stream disconnect
+            for _ in range(200):
+                if gateway.results:
+                    break
+                await asyncio.sleep(0.01)
+            # session 2: the same node reconnects (fresh encoder state,
+            # sequences restart at 0) and finishes cleanly
+            reader, writer = gateway.connect_local()
+            writer.write(
+                Handshake(
+                    record=record.name,
+                    channel=0,
+                    config=system.config,
+                    codebook=system.encoder.codebook,
+                ).to_frame()
+            )
+            for packet in packets[:2]:
+                writer.write(
+                    encode_frame(FrameKind.PACKET, packet.to_bytes())
+                )
+            writer.write(
+                encode_json_frame(FrameKind.BYE, {"windows": 2})
+            )
+            for _ in range(400):
+                if len(gateway.results) == 2:
+                    break
+                await asyncio.sleep(0.01)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        return asyncio.run(run())
+
+    def test_sessions_merge_under_one_stream_key(
+        self, small_config, database
+    ):
+        config = small_config.replace(keyframe_interval=8)
+        record = database.load("100")
+        system = _system(config, record)
+        gateway = self._run_two_sessions(config, record, system)
+
+        assert len(gateway.results) == 2  # sessions stay addressable
+        stats = gateway.stats
+        assert stats.sessions_opened == 2
+        # the fix: one stream identity, not two
+        assert stats.streams == 1
+
+        merged = gateway.merged_results()
+        assert set(merged) == {f"{record.name}:0"}
+        stream = merged[f"{record.name}:0"]
+        # both sessions' windows and BOTH sessions' damage counters:
+        # session 1 lost window 2 (gap exposed by window 3's resync)
+        first = min(gateway.results, key=lambda r: r.session_id)
+        assert first.windows_lost + first.windows_resynced > 0
+        assert stream.num_windows == sum(
+            r.num_windows for r in gateway.results
+        )
+        assert stream.windows_lost == sum(
+            r.windows_lost for r in gateway.results
+        )
+        assert stream.windows_resynced == sum(
+            r.windows_resynced for r in gateway.results
+        )
+        assert stream.clean_close  # the final session ended cleanly
+        # indices re-based: monotonic across the reconnect
+        assert stream.indices == sorted(stream.indices)
+
+        # telemetry agrees: the per-stream series accumulated across
+        # sessions instead of forking
+        snap = gateway.telemetry.snapshot()
+        key = f"{record.name}:0"
+        assert snap.counter_value(
+            "ingest_sessions_opened", stream=key
+        ) == 2
+        assert snap.counter_value(
+            "ingest_windows_decoded", stream=key
+        ) == stream.num_windows
+        assert snap.counter_value(
+            "ingest_windows_lost", stream=key
+        ) == stream.windows_lost
+
+    def test_distinct_streams_do_not_merge(self, small_config, database):
+        records = [database.load("100"), database.load("119")]
+        systems = [_system(small_config, r) for r in records]
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=50.0)
+            for system, record in zip(systems, records):
+                reader, writer = gateway.connect_local()
+                client = NodeClient(
+                    system, record, max_packets=2, interval_s=0.0
+                )
+                await asyncio.wait_for(
+                    client.run(reader, writer), timeout=60.0
+                )
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert gateway.stats.streams == 2
+        assert set(gateway.merged_results()) == {
+            f"{records[0].name}:0",
+            f"{records[1].name}:0",
+        }
+
+
+class TestGatewayTelemetry:
+    """The gateway's stat surfaces are views over the telemetry plane."""
+
+    def test_stats_view_matches_registry(self, small_config, database):
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=60.0)
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system, record, max_packets=4, interval_s=0.0
+            )
+            await asyncio.wait_for(client.run(reader, writer), timeout=60.0)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        stats = gateway.stats
+        snap = gateway.telemetry.snapshot()
+        assert stats.windows_decoded == 4
+        assert stats.windows_decoded == int(
+            snap.counter_total("ingest_windows_decoded")
+        )
+        assert stats.batches == int(snap.counter_total("ingest_flushes"))
+        assert stats.sessions_completed == 1
+        hist = snap.histogram_total("ingest_window_latency_seconds")
+        assert hist.total == 4
+        assert stats.max_latency_s == hist.max
+        # flush width and solve time distributions exist
+        assert snap.histogram_total("ingest_flush_width").total >= 1
+        assert snap.histogram_total("ingest_solve_seconds").total >= 1
+        # solve backend shipped its per-call delta into the same plane
+        assert snap.counter_total("fleet_worker_tasks") >= 1
+
+    def test_exposition_and_ring_round_trip_live_gateway(
+        self, small_config, database, tmp_path
+    ):
+        """serve's persistence contract end to end: the scrape parses
+        back to the registry and the ring file replays to the same
+        final snapshot."""
+        from repro.telemetry import (
+            JsonlRingSink,
+            MetricsServer,
+            exposition_matches_snapshot,
+            replay_ring,
+            scrape_local,
+        )
+
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=60.0)
+            server = MetricsServer(gateway.telemetry)
+            port = await server.start()
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system, record, max_packets=3, interval_s=0.0
+            )
+            await asyncio.wait_for(client.run(reader, writer), timeout=60.0)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            text = await scrape_local(port)
+            await server.close()
+            return gateway, text
+
+        gateway, text = asyncio.run(run())
+        final = gateway.telemetry.snapshot()
+        assert exposition_matches_snapshot(text, final)
+
+        ring = JsonlRingSink(tmp_path / "gateway.jsonl", max_records=4)
+        ring.append(final)
+        assert replay_ring(ring.path) == final
+
+    def test_process_pool_workers_merge_into_plane(
+        self, small_config, database
+    ):
+        """Cross-process fan-in: worker solve deltas are absorbed into
+        the gateway's registry (count matches the flush count)."""
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=60.0, workers=2)
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system, record, max_packets=4, interval_s=0.0
+            )
+            await asyncio.wait_for(
+                client.run(reader, writer), timeout=120.0
+            )
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway
+
+        gateway = asyncio.run(run())
+        snap = gateway.telemetry.snapshot()
+        stats = gateway.stats
+        assert stats.windows_decoded == 4
+        if gateway.workers >= 2:  # pool actually started
+            assert snap.counter_total("fleet_worker_tasks") == stats.batches
+            assert snap.counter_total("fleet_worker_windows") == 4
+            workers = snap.label_values("fleet_worker_tasks", "worker")
+            assert len(workers) >= 1

@@ -199,3 +199,49 @@ class TestConfigValidation:
                 packet_iterations=[700],
                 buffer_seconds=0.0,
             )
+
+
+class TestPipelineTelemetry:
+    """The realtime surface publishes through the telemetry plane."""
+
+    def test_processor_meters_jobs(self):
+        from repro.realtime.pipeline import Processor
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cpu = Processor("phone", meter=registry.meter())
+        cpu.submit(0.0, 0.25)
+        cpu.submit(1.0, 0.5)
+        snap = registry.snapshot()
+        assert snap.counter_value("realtime_jobs", processor="phone") == 2
+        assert snap.counter_value(
+            "realtime_busy_seconds", processor="phone"
+        ) == pytest.approx(0.75)
+        # the attribute ledger (the report's source) agrees
+        assert cpu.busy_seconds == pytest.approx(0.75)
+        assert cpu.jobs == 2
+
+    def test_pipeline_run_publishes_utilization(self, small_config):
+        from repro.realtime.pipeline import MonitorPipeline, PipelineConfig
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        config = PipelineConfig(
+            system=small_config,
+            packet_bits=[1200],
+            packet_iterations=[50],
+            duration_s=20.0,
+        )
+        report = MonitorPipeline(config, telemetry=registry).run()
+        snap = registry.snapshot()
+        assert snap.gauge_value(
+            "realtime_utilization_percent", processor="phone"
+        ) == pytest.approx(report.phone_cpu_percent)
+        assert snap.gauge_value(
+            "realtime_utilization_percent", processor="node"
+        ) == pytest.approx(report.node_cpu_percent)
+        assert snap.gauge_value("realtime_deadline_misses") == float(
+            report.decode_deadline_misses
+        )
+        hist = snap.histogram_total("realtime_end_to_end_latency_seconds")
+        assert hist.total == report.packets_decoded

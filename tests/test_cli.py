@@ -131,11 +131,53 @@ class TestCli:
         assert "lost" in captured and "resynced" in captured
         assert "channel damage:" in captured
 
-    def test_latency_cell_reports_no_data_distinctly(self):
-        from repro.cli import _latency_ms_cell
+    def test_serve_simulate_with_telemetry_and_adaptive(
+        self, capsys, tmp_path
+    ):
+        """--adaptive/--metrics-file/--metrics-port wire the telemetry
+        plane: the run exits cleanly, prints the controller summary,
+        and the ring file replays to a snapshot with the decoded
+        windows accounted."""
+        from repro.telemetry import replay_ring
 
-        assert _latency_ms_cell(None) == "n/a"
-        assert _latency_ms_cell(12.5) == 12.5
+        ring = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--simulate", "2",
+                "--packets", "2",
+                "--batch-size", "2",
+                "--flush-ms", "150",
+                "--interval-ms", "20",
+                "--adaptive",
+                "--metrics-file", str(ring),
+                "--metrics-port", "0",
+                "--metrics-interval", "0.2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "adaptive controller:" in captured
+        assert "metrics exposition on http://" in captured
+        assert "pressure)" in captured  # flush summary includes pressure
+        snapshot = replay_ring(ring)
+        assert snapshot.counter_total("ingest_windows_decoded") == 4
+
+    def test_serve_rejects_bad_metrics_interval(self, capsys):
+        assert main(["serve", "--metrics-interval", "0"]) == 2
+
+    def test_latency_cell_reports_no_data_distinctly(self):
+        # the per-command cell formatters were deduplicated into the
+        # telemetry views; n/a handling lives in exactly one place now
+        from repro.telemetry import na, render_result_table
+
+        assert na(None) == "n/a"
+        assert na(12.5) == 12.5
+        table = render_result_table(
+            [{"stream": 0, "max_latency_ms": None}], title="t"
+        )
+        assert "n/a" in table and "None" not in table
 
     def test_serve_invalid_parameters_exit_cleanly(self, capsys):
         assert main(["serve", "--simulate", "-1"]) == 2
