@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification + decode-engine benchmark smokes + docs checks.
+# Tier-1 verification + repro-lint + decode-engine benchmark smokes.
 #
-#   scripts/run_tier1.sh          # tests + smoke benchmarks + examples + docs
-#   scripts/run_tier1.sh --fast   # skip the benchmark/example/docs smokes
+#   scripts/run_tier1.sh          # lint + tests + smoke benchmarks + examples
+#   scripts/run_tier1.sh --fast   # lint + tests only
 #
 # The tier-1 command is the repo's ROADMAP-pinned gate; the smoke runs
 # exercise the batched decode engine, the fleet decode scheduler and
@@ -10,14 +10,20 @@
 # asserts, a real 2-worker pool, the TCP wire path) with timing
 # thresholds relaxed so they stay fast on any machine.  Each benchmark
 # must also write its machine-readable BENCH_<name>.json — a bench
-# that silently stops reporting fails the gate.  The docs check greps
-# README's CLI reference against the argparse subcommand list so the
-# two cannot drift apart silently.
+# that silently stops reporting fails the gate.  repro-lint
+# (python -m repro.analysis) statically enforces the stack's invariants
+# — event-loop blocking, lock discipline, hot-loop allocations, the
+# telemetry catalog, exception hygiene and README/CLI drift — and runs
+# in BOTH modes; its JSON findings report lands in benchmarks/results/.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro-lint: static invariant checks =="
+mkdir -p benchmarks/results
+python -m repro.analysis --root . --report benchmarks/results/LINT_report.json
 
 echo "== tier-1: full test suite =="
 python -m pytest -x -q
@@ -55,45 +61,6 @@ if [[ "${1:-}" != "--fast" ]]; then
     python examples/quickstart.py > /dev/null
     python examples/live_gateway.py > /dev/null
     echo "examples OK"
-
-    echo "== README CLI reference vs repro-ecg --help =="
-    subcommands=$(python -c "
-import argparse
-from repro.cli import _build_parser
-sub = next(
-    a for a in _build_parser()._actions
-    if isinstance(a, argparse._SubParsersAction)
-)
-print(' '.join(sub.choices))
-")
-    for cmd in ${subcommands}; do
-        if ! grep -q "repro-ecg ${cmd}" README.md; then
-            echo "ERROR: README.md CLI reference is missing 'repro-ecg ${cmd}'" >&2
-            echo "       (subcommand exists in repro-ecg --help; update README)" >&2
-            exit 1
-        fi
-    done
-    echo "README lists all ${subcommands// /, } subcommands"
-
-    channel_flags=$(python -c "from repro.cli import CHANNEL_FLAGS; print(' '.join(CHANNEL_FLAGS))")
-    for flag in ${channel_flags}; do
-        if ! grep -qe "${flag}" README.md; then
-            echo "ERROR: README.md is missing the serve channel flag '${flag}'" >&2
-            echo "       (flag exists in repro-ecg serve --help; update README)" >&2
-            exit 1
-        fi
-    done
-    echo "README lists all serve channel flags (${channel_flags// /, })"
-
-    telemetry_flags=$(python -c "from repro.cli import TELEMETRY_FLAGS; print(' '.join(TELEMETRY_FLAGS))")
-    for flag in ${telemetry_flags}; do
-        if ! grep -qe "${flag}" README.md; then
-            echo "ERROR: README.md is missing the serve telemetry flag '${flag}'" >&2
-            echo "       (flag exists in repro-ecg serve --help; update README)" >&2
-            exit 1
-        fi
-    done
-    echo "README lists all serve telemetry flags (${telemetry_flags// /, })"
 fi
 
 echo "== tier-1 OK =="

@@ -1,0 +1,100 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+A new rule landing on an old codebase faces a choice: fix every
+historical finding in the same PR (huge diffs) or weaken the rule
+(defeats it).  The baseline is the third option — a checked-in ledger
+of known findings that are tolerated *at their current count* while
+new code is held to the full standard.
+
+Entries match on ``(rule, file, key)`` — never on line numbers, which
+drift with every edit — and carry a count, so N grandfathered broad
+excepts in one file stay N: adding an N+1st fails the lint even though
+the first N pass.  Shrinking below the baseline is always allowed
+(``--write-baseline`` re-records the smaller state).
+
+The file lives at the lint root as ``.repro-lint-baseline.json`` and
+is sorted/deterministic, so its diffs review like code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .core import Finding
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def _fingerprint(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.key)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint counts of a baseline file (empty when absent)."""
+    if not path.exists():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"malformed baseline {path}: {exc}"
+        ) from exc
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported baseline schema {data.get('schema')!r} in "
+            f"{path} (expected {BASELINE_SCHEMA})"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("entries", ()):
+        try:
+            fingerprint = (
+                str(entry["rule"]),
+                str(entry["file"]),
+                str(entry["key"]),
+            )
+            counts[fingerprint] += int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed baseline entry in {path}: {entry!r} ({exc})"
+            ) from exc
+    return counts
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Record the given findings as the new baseline (sorted)."""
+    counts = Counter(_fingerprint(f) for f in findings)
+    entries = [
+        {"rule": rule, "file": file, "key": key, "count": count}
+        for (rule, file, key), count in sorted(counts.items())
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (reported, baselined-count).
+
+    Findings are consumed against the baseline in order, so the first
+    N occurrences of a grandfathered fingerprint are absorbed and any
+    beyond the recorded count are reported as new.
+    """
+    remaining = Counter(baseline)
+    reported = []
+    absorbed = 0
+    for finding in findings:
+        fingerprint = _fingerprint(finding)
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            absorbed += 1
+        else:
+            reported.append(finding)
+    return reported, absorbed

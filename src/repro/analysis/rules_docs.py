@@ -1,0 +1,97 @@
+"""RL006: README must track the CLI (subcommands and serve flags).
+
+PR 3 introduced this check as shell greps in ``scripts/run_tier1.sh``;
+moving it into the linter makes it unit-testable, gives it file:line
+findings like every other rule, and lets one ``repro-ecg lint`` run
+gate docs and code together (the rule also enforces its own
+documentation: ``repro-ecg lint`` must appear in the README's CLI
+reference like any other subcommand).
+
+The drift contract, unchanged from the shell version:
+
+- every argparse subcommand of :func:`repro.cli._build_parser` appears
+  in README.md as ``repro-ecg <name>``;
+- every flag in :data:`repro.cli.CHANNEL_FLAGS` and
+  :data:`repro.cli.TELEMETRY_FLAGS` appears verbatim in README.md.
+
+The rule runs only when the lint root actually contains the repo's
+``README.md`` and CLI module — fixture trees used by rule tests are
+exempt by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .core import Finding, Project, Rule, register
+
+
+def readme_drift(
+    readme_text: str,
+    subcommands: list[str],
+    flags: list[str],
+) -> list[tuple[str, str]]:
+    """Pure drift check: ``(kind, missing-item)`` pairs.
+
+    Split out of the rule so tests can pin the matching semantics
+    without building a repo tree.
+    """
+    gaps = []
+    for command in subcommands:
+        if f"repro-ecg {command}" not in readme_text:
+            gaps.append(("subcommand", command))
+    for flag in flags:
+        if flag not in readme_text:
+            gaps.append(("flag", flag))
+    return gaps
+
+
+def cli_surface() -> tuple[list[str], list[str]]:
+    """``(subcommands, drift-checked flags)`` of the installed CLI."""
+    from .. import cli  # lazy: repro.cli imports this package lazily too
+
+    parser = cli._build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    flags = [*cli.CHANNEL_FLAGS, *cli.TELEMETRY_FLAGS]
+    return list(subparsers.choices), flags
+
+
+@register
+class DocsDriftRule(Rule):
+    id = "RL006"
+    name = "docs-drift"
+    summary = (
+        "README.md must list every repro-ecg subcommand and every "
+        "drift-checked serve flag"
+    )
+
+    def finish(self, project: Project) -> list[Finding]:
+        readme = project.root / "README.md"
+        cli_module = project.root / "src" / "repro" / "cli.py"
+        if not readme.exists() or not cli_module.exists():
+            return []
+        subcommands, flags = cli_surface()
+        text = readme.read_text(encoding="utf-8")
+        findings = []
+        for kind, missing in readme_drift(text, subcommands, flags):
+            what = (
+                f"repro-ecg {missing}" if kind == "subcommand" else missing
+            )
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path="README.md",
+                    line=1,
+                    message=(
+                        f"README.md does not mention '{what}' "
+                        f"({kind} exists in repro-ecg --help; update "
+                        f"the CLI reference)"
+                    ),
+                    key=f"{kind}:{missing}",
+                )
+            )
+        return findings

@@ -12,6 +12,7 @@ Installed as ``repro-ecg``::
     repro-ecg budget
     repro-ecg simd
     repro-ecg records
+    repro-ecg lint
 
 Every subcommand prints the same tables the benchmarks assert on, sized
 by ``--records``/``--packets`` so a laptop run stays interactive.
@@ -299,6 +300,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("budget", help="node-side timing/memory/energy table")
     sub.add_parser("simd", help="Figures 3-5 SIMD ablation tables")
     sub.add_parser("records", help="list the synthetic corpus")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks (repro-lint, rules RL001-RL006)",
+        description=(
+            "Run repro-lint over the source tree.  All arguments are "
+            "forwarded to python -m repro.analysis; see "
+            "'repro-ecg lint -- --help' for its options."
+        ),
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments forwarded to python -m repro.analysis",
+    )
     return parser
 
 
@@ -739,9 +756,23 @@ def _cmd_records(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(forwarded: list[str]) -> int:
+    from .analysis.runner import main as lint_main
+
+    if forwarded[:1] == ["--"]:
+        forwarded = forwarded[1:]
+    return lint_main(forwarded)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["lint"]:
+        # forwarded verbatim: argparse's REMAINDER mis-parses leading
+        # optionals (bpo-17050), so lint options never cross the
+        # repro-ecg parser
+        return _cmd_lint(raw[1:])
+    args = _build_parser().parse_args(raw)
     handlers = {
         "quickstart": _cmd_quickstart,
         "fleet": _cmd_fleet,

@@ -888,7 +888,7 @@ class IngestGateway:
                 out = await loop.run_in_executor(
                     self._thread_executor, solve_measurement_block, task
                 )
-            except Exception as exc:  # noqa: BLE001 — drain must live on
+            except Exception as exc:  # repro-lint: disable=RL005 — drain loop must survive any solver failure; errors are routed to sessions via _fail_batch
                 self._fail_batch(batch, exc)
             else:
                 self._route(batch, out)
@@ -900,7 +900,7 @@ class IngestGateway:
         """Await a process-pool solve, then scatter the results."""
         try:
             out = await future
-        except Exception as exc:  # noqa: BLE001 — sessions must unblock
+        except Exception as exc:  # repro-lint: disable=RL005 — waiting sessions must unblock on any solve failure; _fail_batch propagates the error
             self._inflight.release()
             self._fail_batch(batch, exc)
             return

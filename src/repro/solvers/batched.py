@@ -286,6 +286,7 @@ def batched_fista(
     # doubling is exact, so g*(2*step) rounds identically to (2*g)*step
     two_step = dtype(2.0) * step
 
+    # repro-lint: hot
     for iteration in range(1, max_iterations + 1):
         total_iterations = iteration
 
@@ -330,7 +331,7 @@ def batched_fista(
             frozen = live.size - int(np.count_nonzero(live))
             if frozen == live.size:
                 break
-            if frozen >= (live.size + 7) // 8:
+            if frozen >= (live.size + 7) // 8:  # repro-lint: disable=RL003 — compaction reallocates the working set at most log2(B) times per solve; amortized O(1) per window
                 work_y = np.ascontiguousarray(work_y[:, live])
                 work_prev = np.ascontiguousarray(work_prev[:, live])
                 work_mom = np.ascontiguousarray(work_mom[:, live])

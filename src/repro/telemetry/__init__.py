@@ -22,6 +22,15 @@ and steers the gateway's effective batch width and flush deadline
 against the paper's 2-second real-time budget.
 """
 
+from .catalog import (
+    CATALOG,
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    LABEL_NAMES,
+    MetricSpec,
+    spec_for,
+)
 from .core import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -50,11 +59,17 @@ from .views import (
 )
 
 __all__ = [
+    "CATALOG",
+    "COUNTER",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "GAUGE",
+    "HISTOGRAM",
     "HistogramSnapshot",
     "JsonlRingSink",
+    "LABEL_NAMES",
     "Meter",
+    "MetricSpec",
     "MetricsRegistry",
     "MetricsServer",
     "MetricsSnapshot",
@@ -71,4 +86,5 @@ __all__ = [
     "replay_ring",
     "scrape_local",
     "snapshot_rows",
+    "spec_for",
 ]

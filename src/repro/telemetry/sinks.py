@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 from ..errors import TelemetryError
+from .catalog import spec_for
 from .core import HistogramSnapshot, MetricsSnapshot, label_key
 
 #: schema version of one ring-file record
@@ -168,7 +169,12 @@ def render_prometheus(snapshot: MetricsSnapshot) -> str:
 
     def emit(name: str, kind: str, sample_lines: list[str]) -> None:
         if name not in by_name:
-            by_name[name] = [f"# TYPE {name} {kind}"]
+            header = []
+            spec = spec_for(name)
+            if spec is not None:
+                header.append(f"# HELP {name} {spec.description}")
+            header.append(f"# TYPE {name} {kind}")
+            by_name[name] = header
         by_name[name].extend(sample_lines)
 
     for (name, labels), value in sorted(snapshot.counters.items()):

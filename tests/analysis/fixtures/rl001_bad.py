@@ -1,0 +1,19 @@
+# repro-lint test fixture: RL001 positives.  Parsed only, never run.
+import time
+
+from repro.solvers.batched import batched_fista  # noqa: F401
+
+
+async def sleepy_coroutine():
+    time.sleep(0.5)  # line 8: blocking sleep on the event loop
+
+
+async def reads_file():
+    with open("data.bin", "rb") as fh:  # line 12: blocking file IO
+        return fh.read()
+
+
+async def solves_inline(task, solver, operator, y):
+    out = batched_fista(operator, y)  # line 17: module-level solver
+    result = solver.solve(y)  # line 18: BatchedFista.solve by method
+    return out, result

@@ -1,0 +1,30 @@
+# repro-lint test fixture: RL001 negatives.  Parsed only, never run.
+import asyncio
+import time
+
+from repro.solvers.batched import batched_fista
+
+
+async def dispatches_off_loop(task):
+    loop = asyncio.get_running_loop()
+    # solver passed by reference: no call node, naturally clean
+    out = await loop.run_in_executor(None, batched_fista, task)
+    # a lambda is an executor thunk, not loop-side code
+    more = await loop.run_in_executor(None, lambda: time.sleep(0.01))
+    await asyncio.sleep(0.1)  # asyncio.sleep yields, never blocks
+    return out, more
+
+
+def synchronous_caller(task):
+    # blocking calls in plain functions are fine — no loop to block
+    time.sleep(0.01)
+    return batched_fista(task, task)
+
+
+async def nested_scope_is_separate():
+    def helper():
+        # nested def is its own execution context (runs off-loop when
+        # dispatched); the async body itself stays clean
+        time.sleep(0.01)
+
+    return helper

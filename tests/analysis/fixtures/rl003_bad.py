@@ -1,0 +1,21 @@
+# repro-lint test fixture: RL003 positives.  Parsed only, never run.
+import numpy as np
+
+
+def iterate(operator, y, steps):
+    out = np.zeros(operator.shape[1])  # outside the loop: fine
+    # repro-lint: hot
+    for _ in range(steps):
+        scratch = np.zeros(y.shape)  # line 9: allocator in hot loop
+        snapshot = out.copy()  # line 10: method copy in hot loop
+        out += scratch + snapshot
+    return out
+
+
+# repro-lint: hot
+def hot_function(blocks):
+    total = 0.0
+    for block in blocks:  # whole function marked: loop is hot
+        merged = np.concatenate(block)  # line 19: allocator
+        total += merged.sum()
+    return total

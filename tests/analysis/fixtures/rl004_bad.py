@@ -1,0 +1,9 @@
+# repro-lint test fixture: RL004 positives.  Parsed only, never run.
+
+
+def instrument(meter, registry):
+    meter.inc("totally_invented_metric")  # line 5: undeclared name
+    meter.set_gauge("ingest_windows_decoded", 1)  # line 6: kind mismatch
+    meter.inc("ingest_flushes", stream="s0")  # line 7: undeclared label
+    bound = registry.meter(shoe_size=42)  # line 8: unknown binding label
+    return bound

@@ -1,0 +1,28 @@
+# repro-lint test fixture: RL005 positives.  Parsed only, never run.
+from repro.errors import ProtocolError, TelemetryError  # noqa: F401
+
+
+def broad_handlers(work):
+    try:
+        work()
+    except:  # line 8: bare except
+        return None
+    try:
+        work()
+    except Exception:  # line 12: broad except
+        return None
+    try:
+        work()
+    except (ValueError, BaseException):  # line 16: broad inside tuple
+        return None
+
+
+def silent_swallows(frame, sink):
+    try:
+        frame.decode()
+    except ProtocolError:  # line 23: load-bearing error swallowed
+        pass
+    try:
+        sink.flush()
+    except TelemetryError:  # line 27: swallowed with bare ellipsis
+        ...

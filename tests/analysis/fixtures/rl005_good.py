@@ -1,0 +1,23 @@
+# repro-lint test fixture: RL005 negatives.  Parsed only, never run.
+import warnings
+
+from repro.errors import ProtocolError, TelemetryError  # noqa: F401
+
+
+def narrow_handlers(work):
+    try:
+        work()
+    except (ValueError, KeyError):  # narrow types: fine
+        return None
+
+
+def handled_load_bearing(frame, sink, stats):
+    try:
+        frame.decode()
+    except ProtocolError as exc:  # counted and logged: not a swallow
+        stats.protocol_errors += 1
+        warnings.warn(f"bad frame: {exc}", RuntimeWarning)
+    try:
+        sink.flush()
+    except TelemetryError:  # re-raised: not a swallow
+        raise

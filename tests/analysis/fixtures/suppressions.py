@@ -1,0 +1,25 @@
+# repro-lint test fixture: suppression semantics.  Parsed only.
+import time
+
+
+async def justified_line():
+    time.sleep(0.01)  # repro-lint: disable=RL001 — fixture: startup barrier runs before the loop serves traffic
+
+
+async def unjustified_line():
+    time.sleep(0.01)  # repro-lint: disable=RL001
+
+
+async def block_scope(work):
+    if work:  # repro-lint: disable=RL001 — fixture: whole branch is justified
+        time.sleep(0.01)
+        time.sleep(0.02)
+    time.sleep(0.03)  # line 17: outside the block span -> reported
+
+
+async def wrong_rule():
+    time.sleep(0.01)  # repro-lint: disable=RL003 — fixture: names the wrong rule, RL001 still fires
+
+
+async def unknown_rule():
+    time.sleep(0.01)  # repro-lint: disable=RL001,RL999 — fixture: RL999 does not exist

@@ -1,0 +1,83 @@
+"""Baseline mechanics: round-trip, count semantics, malformed input."""
+
+import json
+
+import pytest
+
+from repro.analysis import apply_baseline, load_baseline, write_baseline
+from repro.analysis.core import Finding
+from repro.errors import ConfigurationError
+
+
+def _finding(rule="RL005", path="src/a.py", line=10, key="broad-except"):
+    return Finding(rule=rule, path=path, line=line, message="m", key=key)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [_finding(), _finding(line=20), _finding(path="src/b.py")]
+        write_baseline(path, findings)
+        counts = load_baseline(path)
+        assert counts[("RL005", "src/a.py", "broad-except")] == 2
+        assert counts[("RL005", "src/b.py", "broad-except")] == 1
+
+    def test_file_is_sorted_and_deterministic(self, tmp_path):
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        findings = [_finding(path="src/z.py"), _finding(path="src/a.py")]
+        write_baseline(path_a, findings)
+        write_baseline(path_b, list(reversed(findings)))
+        assert path_a.read_text() == path_b.read_text()
+        data = json.loads(path_a.read_text())
+        assert data["schema"] == 1
+        files = [entry["file"] for entry in data["entries"]]
+        assert files == sorted(files)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+
+class TestApply:
+    def test_absorbs_up_to_count_then_reports(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(line=10)])
+        baseline = load_baseline(path)
+        # same fingerprint at a different line still absorbs; the
+        # second occurrence exceeds the recorded count and is reported
+        reported, absorbed = apply_baseline(
+            [_finding(line=99), _finding(line=120)], baseline
+        )
+        assert absorbed == 1
+        assert [f.line for f in reported] == [120]
+
+    def test_unrelated_finding_not_absorbed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        reported, absorbed = apply_baseline(
+            [_finding(rule="RL001", key="time.sleep")],
+            load_baseline(path),
+        )
+        assert absorbed == 0
+        assert len(reported) == 1
+
+
+class TestMalformed:
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            load_baseline(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_baseline(path)
+
+    def test_entry_missing_field_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"schema": 1, "entries": [{"rule": "RL005"}]})
+        )
+        with pytest.raises(ConfigurationError, match="entry"):
+            load_baseline(path)

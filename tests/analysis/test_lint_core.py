@@ -1,0 +1,160 @@
+"""Framework mechanics: directives, suppressions, hot regions, RL000."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import (
+    FRAMEWORK_RULE,
+    Finding,
+    SourceModule,
+    dotted_name,
+)
+
+
+def _module(text: str) -> SourceModule:
+    return SourceModule(Path("mem.py"), "mem.py", text)
+
+
+def _finding(rule: str, line: int) -> Finding:
+    return Finding(rule=rule, path="mem.py", line=line, message="x", key="k")
+
+
+class TestDirectiveScanning:
+    def test_line_suppression_with_reason(self):
+        module = _module(
+            "import time\n"
+            "time.sleep(1)  # repro-lint: disable=RL001 — boot barrier\n"
+        )
+        (supp,) = module.suppressions
+        assert supp.rules == ("RL001",)
+        assert supp.reason == "boot barrier"
+        assert (supp.start, supp.end) == (2, 2)
+
+    def test_multiple_rules_one_comment(self):
+        module = _module(
+            "x = 1  # repro-lint: disable=RL001,RL005 — both justified\n"
+        )
+        (supp,) = module.suppressions
+        assert supp.rules == ("RL001", "RL005")
+
+    def test_directive_inside_string_is_ignored(self):
+        module = _module(
+            'text = "# repro-lint: disable=RL001 — not a directive"\n'
+        )
+        assert module.suppressions == []
+
+    def test_hot_marker_collected(self):
+        module = _module(
+            "# repro-lint: hot\n"
+            "for i in range(3):\n"
+            "    pass\n"
+        )
+        assert module.hot_marks == {1}
+
+
+class TestSuppressionCoverage:
+    def test_covers_matching_rule_and_line(self):
+        module = _module(
+            "time.sleep(1)  # repro-lint: disable=RL001 — justified\n"
+        )
+        assert module.suppressed(_finding("RL001", 1))
+        assert not module.suppressed(_finding("RL005", 1))
+        assert not module.suppressed(_finding("RL001", 2))
+
+    def test_block_scope_covers_statement_span(self):
+        module = _module(
+            "if True:  # repro-lint: disable=RL003 — whole branch\n"
+            "    a = 1\n"
+            "    b = 2\n"
+            "c = 3\n"
+        )
+        assert module.suppressed(_finding("RL003", 2))
+        assert module.suppressed(_finding("RL003", 3))
+        assert not module.suppressed(_finding("RL003", 4))
+
+    def test_framework_rule_never_suppressible(self):
+        module = _module(
+            "x = 1  # repro-lint: disable=RL000 — nice try\n"
+        )
+        assert not module.suppressed(_finding(FRAMEWORK_RULE, 1))
+
+
+class TestFrameworkFindings:
+    def test_unjustified_suppression_reported(self):
+        module = _module("x = 1  # repro-lint: disable=RL001\n")
+        (finding,) = module.framework_findings()
+        assert finding.rule == FRAMEWORK_RULE
+        assert finding.key == "unjustified-suppression"
+        assert finding.line == 1
+
+    def test_unknown_rule_reported(self):
+        module = _module(
+            "x = 1  # repro-lint: disable=RL999 — bogus id\n"
+        )
+        (finding,) = module.framework_findings()
+        assert finding.key == "unknown-rule:RL999"
+
+    def test_parse_error_reported(self):
+        module = _module("def broken(:\n")
+        (finding,) = module.framework_findings()
+        assert finding.key == "parse-error"
+        assert "syntax error" in finding.message
+
+    def test_clean_module_has_no_findings(self):
+        module = _module(
+            "x = 1  # repro-lint: disable=RL001 — justified\n"
+        )
+        assert module.framework_findings() == []
+
+
+class TestHotSpans:
+    def test_marker_above_loop(self):
+        module = _module(
+            "# repro-lint: hot\n"
+            "for i in range(3):\n"
+            "    work()\n"
+            "after()\n"
+        )
+        assert module.hot_spans() == [(2, 3)]
+        # the header line itself (iterator runs once) is excluded
+        assert not module.in_hot_span(2)
+        assert module.in_hot_span(3)
+        assert not module.in_hot_span(4)
+
+    def test_marker_on_def_covers_every_loop(self):
+        module = _module(
+            "# repro-lint: hot\n"
+            "def solver():\n"
+            "    for i in range(3):\n"
+            "        work()\n"
+            "    while True:\n"
+            "        more()\n"
+        )
+        assert sorted(module.hot_spans()) == [(3, 4), (5, 6)]
+
+    def test_unmarked_loops_are_cold(self):
+        module = _module("for i in range(3):\n    work()\n")
+        assert module.hot_spans() == []
+        assert not module.in_hot_span(2)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        ("source", "expected"),
+        [
+            ("np.zeros", "np.zeros"),
+            ("a.b.c", "a.b.c"),
+            ("name", "name"),
+            ("f().copy", ".copy"),
+        ],
+    )
+    def test_dotted_name(self, source, expected):
+        import ast
+
+        node = ast.parse(source, mode="eval").body
+        assert dotted_name(node) == expected
+
+    def test_finding_render(self):
+        finding = _finding("RL001", 12)
+        assert finding.render() == "mem.py:12: RL001 x"

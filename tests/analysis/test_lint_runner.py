@@ -1,0 +1,125 @@
+"""Runner end-to-end: exit codes, reports, baseline flow, the repo."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.runner import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _tree(tmp_path: Path, source: str) -> Path:
+    """A minimal lintable tree with one module."""
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+BAD_ASYNC = "import time\n\n\nasync def handler():\n    time.sleep(1)\n"
+
+
+class TestExitCodes:
+    def test_repo_is_clean(self, capsys):
+        """The acceptance gate: repro-lint exits 0 on today's tree."""
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one_with_file_line_and_rule(
+        self, tmp_path, capsys
+    ):
+        root = _tree(tmp_path, BAD_ASYNC)
+        assert main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "src/pkg/mod.py:5: RL001" in out
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path, capsys):
+        root = _tree(tmp_path, "x = 1\n")
+        assert main(["--root", str(root), "--select", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_bad_root_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["--root", str(missing)]) == 2
+
+    def test_bad_path_is_usage_error(self, tmp_path, capsys):
+        root = _tree(tmp_path, "x = 1\n")
+        assert main(["--root", str(root), "no/such/file.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        root = _tree(tmp_path, BAD_ASYNC)
+        assert main(["--root", str(root), "--select", "RL002"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in out
+
+
+class TestReports:
+    def test_json_report_written(self, tmp_path, capsys):
+        root = _tree(tmp_path, BAD_ASYNC)
+        report_path = tmp_path / "out" / "report.json"
+        assert (
+            main(["--root", str(root), "--report", str(report_path)]) == 1
+        )
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == 1
+        assert report["counts"] == {"RL001": 1}
+        (finding,) = report["findings"]
+        assert finding["rule"] == "RL001"
+        assert finding["path"] == "src/pkg/mod.py"
+        assert finding["line"] == 5
+
+    def test_json_stdout_format(self, tmp_path, capsys):
+        root = _tree(tmp_path, BAD_ASYNC)
+        assert main(["--root", str(root), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"] == {"RL001": 1}
+
+
+class TestBaselineFlow:
+    def test_write_then_absorb_then_new_finding(self, tmp_path, capsys):
+        root = _tree(tmp_path, BAD_ASYNC)
+        # record today's findings
+        assert main(["--root", str(root), "--write-baseline"]) == 0
+        assert (root / ".repro-lint-baseline.json").exists()
+        # grandfathered: the same tree is now green
+        assert main(["--root", str(root)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # --no-baseline surfaces them again
+        assert main(["--root", str(root), "--no-baseline"]) == 1
+        # a second, new violation exceeds the recorded count and fails
+        mod = root / "src" / "pkg" / "mod.py"
+        mod.write_text(BAD_ASYNC + "\n\nasync def two():\n    time.sleep(2)\n")
+        assert main(["--root", str(root)]) == 1
+
+    def test_repo_baseline_is_checked_in_and_empty(self):
+        data = json.loads(
+            (REPO_ROOT / ".repro-lint-baseline.json").read_text()
+        )
+        assert data == {"schema": 1, "entries": []}
+
+
+class TestCliIntegration:
+    def test_repro_ecg_lint_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", "--root", str(REPO_ROOT)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_listed_in_cli_help(self):
+        from repro.analysis.rules_docs import cli_surface
+
+        subcommands, _ = cli_surface()
+        assert "lint" in subcommands
+
+    def test_seeded_violation_fails_via_cli(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        root = _tree(tmp_path, BAD_ASYNC)
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        assert "RL001" in capsys.readouterr().out

@@ -526,6 +526,32 @@ class TestFaults:
         ]
         assert error_bodies and "kaboom" in error_bodies[0]["error"]
 
+    def test_process_pool_solve_failure_releases_inflight(self):
+        """The process-pool twin of the test above: _route_async's
+        broad except (carrying a justified repro-lint RL005
+        suppression) must catch ANY failure a pooled solve raises,
+        fail the batch, and release the in-flight slot — a leaked slot
+        would wedge every later flush at the semaphore."""
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=100.0)
+            gateway._inflight = asyncio.Semaphore(1)
+            await gateway._inflight.acquire()
+            failed = {}
+            gateway._fail_batch = lambda batch, exc: failed.update(
+                batch=batch, exc=exc
+            )
+            future = asyncio.get_running_loop().create_future()
+            future.set_exception(RuntimeError("pool kaboom"))
+            batch = [object(), object()]
+            await gateway._route_async(batch, future, None, "full", 0.0)
+            return failed, gateway._inflight.locked()
+
+        failed, still_locked = asyncio.run(run())
+        assert isinstance(failed["exc"], RuntimeError)
+        assert failed["batch"] and len(failed["batch"]) == 2
+        assert not still_locked  # the slot came back
+
     def test_packet_before_hello_rejected(self, small_config, database):
         record = database.load("100")
         system = _system(small_config, record)
