@@ -29,20 +29,38 @@ Quickstart::
     print(result.compression_ratio_percent, result.mean_snr_db)
 """
 
-from .config import PAPER_DEFAULT, SystemConfig
-from .core import CSDecoder, CSEncoder, EcgMonitorSystem
-from .ecg import SyntheticMitBih
-from .errors import ReproError
+from importlib import import_module
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "SystemConfig",
-    "PAPER_DEFAULT",
-    "CSEncoder",
-    "CSDecoder",
-    "EcgMonitorSystem",
-    "SyntheticMitBih",
-    "ReproError",
-    "__version__",
-]
+#: public name -> defining submodule.  The package root resolves these
+#: lazily (PEP 562): ``repro.analysis`` (repro-lint) must be importable
+#: on a bare stdlib interpreter — CI's lint job installs no third-party
+#: deps — so ``import repro`` cannot eagerly pull numpy via repro.core.
+_LAZY_EXPORTS = {
+    "SystemConfig": "config",
+    "PAPER_DEFAULT": "config",
+    "CSEncoder": "core",
+    "CSDecoder": "core",
+    "EcgMonitorSystem": "core",
+    "SyntheticMitBih": "ecg",
+    "ReproError": "errors",
+}
+
+__all__ = [*_LAZY_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

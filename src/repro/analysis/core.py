@@ -113,6 +113,7 @@ class SourceModule:
         }
         self.suppressions: list[Suppression] = self._resolve_suppressions()
         self._hot_spans: list[tuple[int, int]] | None = None
+        self._hot_while_headers: set[int] = set()
 
     # -- suppressions --------------------------------------------------
     def _resolve_suppressions(self) -> list[Suppression]:
@@ -214,6 +215,8 @@ class SourceModule:
                 for start, stop in hot_functions
             ):
                 spans.append((node.lineno, end))
+                if isinstance(node, ast.While):
+                    self._hot_while_headers.add(node.lineno)
         self._hot_spans = spans
         return spans
 
@@ -221,8 +224,15 @@ class SourceModule:
         return lineno in self.hot_marks or (lineno - 1) in self.hot_marks
 
     def in_hot_span(self, lineno: int) -> bool:
-        return any(
-            start < lineno <= end for start, end in self.hot_spans()
+        """Whether ``lineno`` executes once per hot-loop iteration.
+
+        A ``for`` header is excluded (its iterable is evaluated once),
+        but a ``while`` header is hot: its condition re-runs every
+        iteration, so an allocation there is a per-iteration cost.
+        """
+        spans = self.hot_spans()
+        return lineno in self._hot_while_headers or any(
+            start < lineno <= end for start, end in spans
         )
 
 

@@ -9,10 +9,17 @@ reference like any other subcommand).
 
 The drift contract, unchanged from the shell version:
 
-- every argparse subcommand of :func:`repro.cli._build_parser` appears
-  in README.md as ``repro-ecg <name>``;
-- every flag in :data:`repro.cli.CHANNEL_FLAGS` and
-  :data:`repro.cli.TELEMETRY_FLAGS` appears verbatim in README.md.
+- every argparse subcommand registered in ``cli.py`` (an
+  ``add_parser("name", ...)`` call) appears in README.md as
+  ``repro-ecg <name>``;
+- every flag in the ``CHANNEL_FLAGS`` and ``TELEMETRY_FLAGS`` tuples
+  of ``cli.py`` appears verbatim in README.md.
+
+The CLI surface is read by *parsing* the ``cli.py`` that lives under
+``project.root`` — never by importing the installed :mod:`repro.cli` —
+so linting another checkout via ``--root`` compares that tree's README
+against that tree's CLI, and the rule stays importable on a bare
+stdlib interpreter (CI's lint job installs nothing).
 
 The rule runs only when the lint root actually contains the repo's
 ``README.md`` and CLI module — fixture trees used by rule tests are
@@ -21,9 +28,13 @@ exempt by construction.
 
 from __future__ import annotations
 
-import argparse
+import ast
+from pathlib import Path
 
 from .core import Finding, Project, Rule, register
+
+#: the module-level tuples in cli.py whose flags the README must list
+FLAG_TUPLES = ("CHANNEL_FLAGS", "TELEMETRY_FLAGS")
 
 
 def readme_drift(
@@ -46,18 +57,48 @@ def readme_drift(
     return gaps
 
 
-def cli_surface() -> tuple[list[str], list[str]]:
-    """``(subcommands, drift-checked flags)`` of the installed CLI."""
-    from .. import cli  # lazy: repro.cli imports this package lazily too
+def cli_surface(cli_path: Path) -> tuple[list[str], list[str]]:
+    """``(subcommands, drift-checked flags)`` parsed out of ``cli_path``.
 
-    parser = cli._build_parser()
-    subparsers = next(
-        action
-        for action in parser._actions
-        if isinstance(action, argparse._SubParsersAction)
-    )
-    flags = [*cli.CHANNEL_FLAGS, *cli.TELEMETRY_FLAGS]
-    return list(subparsers.choices), flags
+    Static by design: an ``add_parser("<name>", ...)`` call declares a
+    subcommand; an assignment of a tuple/list of string literals to a
+    name in :data:`FLAG_TUPLES` declares drift-checked flags.
+    """
+    tree = ast.parse(cli_path.read_text(encoding="utf-8"), str(cli_path))
+    subcommands = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            subcommands.append(node.args[0].value)
+    flags = []
+    for name in FLAG_TUPLES:
+        flags.extend(_string_tuple(tree, name))
+    return subcommands, flags
+
+
+def _string_tuple(tree: ast.Module, name: str) -> list[str]:
+    """String literals of a module-level ``name = ("...", ...)``."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            return [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+    return []
 
 
 @register
@@ -74,7 +115,7 @@ class DocsDriftRule(Rule):
         cli_module = project.root / "src" / "repro" / "cli.py"
         if not readme.exists() or not cli_module.exists():
             return []
-        subcommands, flags = cli_surface()
+        subcommands, flags = cli_surface(cli_module)
         text = readme.read_text(encoding="utf-8")
         findings = []
         for kind, missing in readme_drift(text, subcommands, flags):

@@ -161,13 +161,22 @@ class LockDisciplineRule(Rule):
                     guarded.add(attr)
                 elif not init:
                     unguarded.append((attr, node.lineno))
+            # a nested def is a separate call context: even when defined
+            # under `with self._lock:`, it may be stored and invoked later
+            # without the lock, so its body is walked as unguarded
+            nested = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            child_held = False if nested else now_held
             for child_body in self._child_bodies(node):
                 self._walk(
-                    child_body, now_held, init, locks, guarded, unguarded
+                    child_body, child_held, init, locks, guarded, unguarded
                 )
 
     @staticmethod
     def _child_bodies(node: ast.stmt) -> list[list[ast.stmt]]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return [node.body]
         bodies = []
         for name in ("body", "orelse", "finalbody"):
             value = getattr(node, name, None)
@@ -178,8 +187,6 @@ class LockDisciplineRule(Rule):
         if isinstance(node, ast.Try):
             for handler in node.handlers:
                 bodies.append(handler.body)
-        # nested defs are separate call contexts: a helper that writes
-        # shared state is analyzed as its own (unguarded) method scope
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            return [node.body]
+        if isinstance(node, ast.Match):
+            bodies.extend(case.body for case in node.cases)
         return bodies

@@ -22,69 +22,57 @@ and steers the gateway's effective batch width and flush deadline
 against the paper's 2-second real-time budget.
 """
 
-from .catalog import (
-    CATALOG,
-    COUNTER,
-    GAUGE,
-    HISTOGRAM,
-    LABEL_NAMES,
-    MetricSpec,
-    spec_for,
-)
-from .core import (
-    DEFAULT_LATENCY_BUCKETS,
-    DEFAULT_SIZE_BUCKETS,
-    NULL_METER,
-    HistogramSnapshot,
-    Meter,
-    MetricsRegistry,
-    MetricsSnapshot,
-    label_key,
-)
-from .exposition import MetricsServer, scrape_local
-from .sinks import (
-    RING_SCHEMA,
-    JsonlRingSink,
-    exposition_matches_snapshot,
-    iter_ring_records,
-    parse_prometheus,
-    render_prometheus,
-    replay_ring,
-)
-from .views import (
-    na,
-    render_result_table,
-    render_snapshot_table,
-    snapshot_rows,
-)
+from importlib import import_module
 
-__all__ = [
-    "CATALOG",
-    "COUNTER",
-    "DEFAULT_LATENCY_BUCKETS",
-    "DEFAULT_SIZE_BUCKETS",
-    "GAUGE",
-    "HISTOGRAM",
-    "HistogramSnapshot",
-    "JsonlRingSink",
-    "LABEL_NAMES",
-    "Meter",
-    "MetricSpec",
-    "MetricsRegistry",
-    "MetricsServer",
-    "MetricsSnapshot",
-    "NULL_METER",
-    "RING_SCHEMA",
-    "exposition_matches_snapshot",
-    "iter_ring_records",
-    "label_key",
-    "na",
-    "parse_prometheus",
-    "render_prometheus",
-    "render_result_table",
-    "render_snapshot_table",
-    "replay_ring",
-    "scrape_local",
-    "snapshot_rows",
-    "spec_for",
-]
+#: public name -> defining submodule, resolved lazily (PEP 562).
+#: repro-lint's RL004 imports :mod:`repro.telemetry.catalog` (pure
+#: stdlib) from CI's dependency-free lint job; an eager package root
+#: would drag numpy in through :mod:`.views` -> repro.experiments.
+_LAZY_EXPORTS = {
+    "CATALOG": "catalog",
+    "COUNTER": "catalog",
+    "GAUGE": "catalog",
+    "HISTOGRAM": "catalog",
+    "LABEL_NAMES": "catalog",
+    "MetricSpec": "catalog",
+    "spec_for": "catalog",
+    "DEFAULT_LATENCY_BUCKETS": "core",
+    "DEFAULT_SIZE_BUCKETS": "core",
+    "NULL_METER": "core",
+    "HistogramSnapshot": "core",
+    "Meter": "core",
+    "MetricsRegistry": "core",
+    "MetricsSnapshot": "core",
+    "label_key": "core",
+    "MetricsServer": "exposition",
+    "scrape_local": "exposition",
+    "RING_SCHEMA": "sinks",
+    "JsonlRingSink": "sinks",
+    "exposition_matches_snapshot": "sinks",
+    "iter_ring_records": "sinks",
+    "parse_prometheus": "sinks",
+    "render_prometheus": "sinks",
+    "replay_ring": "sinks",
+    "na": "views",
+    "render_result_table": "views",
+    "render_snapshot_table": "views",
+    "snapshot_rows": "views",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

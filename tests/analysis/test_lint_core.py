@@ -117,8 +117,22 @@ class TestHotSpans:
             "after()\n"
         )
         assert module.hot_spans() == [(2, 3)]
-        # the header line itself (iterator runs once) is excluded
+        # a for header (iterator evaluated once) is excluded
         assert not module.in_hot_span(2)
+        assert module.in_hot_span(3)
+        assert not module.in_hot_span(4)
+
+    def test_while_header_is_hot(self):
+        # a while condition re-runs every iteration, so its header
+        # line is inside the hot span (unlike a for header)
+        module = _module(
+            "# repro-lint: hot\n"
+            "while pending():\n"
+            "    drain()\n"
+            "after()\n"
+        )
+        assert module.hot_spans() == [(2, 3)]
+        assert module.in_hot_span(2)
         assert module.in_hot_span(3)
         assert not module.in_hot_span(4)
 

@@ -10,7 +10,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import run_lint
-from repro.analysis.rules_docs import readme_drift
+from repro.analysis.rules_docs import cli_surface, readme_drift
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -22,6 +22,14 @@ def lint_fixture(name: str, rule_id: str):
         FIXTURES.parent, [str(FIXTURES / name)], {rule_id}
     )
     return findings, suppressed
+
+
+def lint_source(tmp_path: Path, source: str, rule_id: str):
+    """Findings of one rule over one inline module."""
+    path = tmp_path / "mod.py"
+    path.write_text(source, encoding="utf-8")
+    findings, _, _ = run_lint(tmp_path, [str(path)], {rule_id})
+    return findings
 
 
 class TestRL001AsyncBlocking:
@@ -58,6 +66,59 @@ class TestRL002LockDiscipline:
         findings, _ = lint_fixture("rl002_good.py", "RL002")
         assert findings == []
 
+    def test_nested_def_under_lock_is_unguarded(self, tmp_path):
+        # a closure defined inside `with self._lock:` may be stored
+        # and called later without the lock: its writes must count as
+        # unguarded, not inherit the definition site's held state
+        findings = lint_source(
+            tmp_path,
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._state = {}\n"
+            "\n"
+            "    def set(self, key, value):\n"
+            "        with self._lock:\n"
+            "            self._state[key] = value\n"
+            "\n"
+            "            def deferred():\n"
+            "                self._state[key] = None\n"
+            "\n"
+            "            self._callback = deferred\n",
+            "RL002",
+        )
+        (finding,) = findings
+        assert finding.line == 14
+        assert finding.key == "Registry._state"
+
+    def test_match_case_bodies_are_walked(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._mode = 0\n"
+            "\n"
+            "    def set_mode(self, mode):\n"
+            "        with self._lock:\n"
+            "            self._mode = mode\n"
+            "\n"
+            "    def on_message(self, message):\n"
+            "        match message:\n"
+            "            case 'reset':\n"
+            "                self._mode = 0\n",
+            "RL002",
+        )
+        (finding,) = findings
+        assert finding.line == 16
+        assert finding.key == "Registry._mode"
+
 
 class TestRL003HotLoopAlloc:
     def test_bad_fixture_positives(self):
@@ -69,6 +130,24 @@ class TestRL003HotLoopAlloc:
     def test_good_fixture_clean(self):
         findings, _ = lint_fixture("rl003_good.py", "RL003")
         assert findings == []
+
+    def test_while_header_allocation_flagged(self, tmp_path):
+        # the while condition re-runs every iteration: an allocation
+        # in the header is a per-iteration cost, unlike a for iterable
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def drain(residual, threshold):\n"
+            "    # repro-lint: hot\n"
+            "    while np.any(residual.copy() > threshold):\n"
+            "        residual *= 0.5\n",
+            "RL003",
+        )
+        (finding,) = findings
+        assert finding.line == 6
+        assert finding.key == "residual.copy"
 
 
 class TestRL004TelemetryCatalog:
@@ -154,3 +233,43 @@ class TestRL006DocsDrift:
         (target / "mod.py").write_text("x = 1\n")
         findings, _, _ = run_lint(tmp_path, None, {"RL006"})
         assert findings == []
+
+    def test_cli_surface_parsed_from_file(self, tmp_path):
+        cli = tmp_path / "cli.py"
+        cli.write_text(
+            "CHANNEL_FLAGS = ('--loss', '--reorder')\n"
+            "TELEMETRY_FLAGS = ('--adaptive',)\n"
+            "\n"
+            "\n"
+            "def _build_parser():\n"
+            "    sub = parser.add_subparsers()\n"
+            "    sub.add_parser('serve', help='run the gateway')\n"
+            "    ghost = sub.add_parser(\n"
+            "        'ghost', help='multi-line call form'\n"
+            "    )\n",
+            encoding="utf-8",
+        )
+        subcommands, flags = cli_surface(cli)
+        assert subcommands == ["serve", "ghost"]
+        assert flags == ["--loss", "--reorder", "--adaptive"]
+
+    def test_surface_comes_from_lint_root_not_interpreter(self, tmp_path):
+        # a checkout linted via --root is checked against *its own*
+        # cli.py: 'ghost' exists only in this tree, never in the
+        # installed repro.cli, and must still be reported
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "cli.py").write_text(
+            "CHANNEL_FLAGS = ('--spooky',)\n"
+            "\n"
+            "\n"
+            "def _build_parser():\n"
+            "    sub.add_parser('ghost', help='only in this tree')\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "README.md").write_text("no CLI reference here\n")
+        findings, _, _ = run_lint(tmp_path, None, {"RL006"})
+        assert {f.key for f in findings} == {
+            "subcommand:ghost",
+            "flag:--spooky",
+        }
