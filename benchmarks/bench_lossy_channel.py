@@ -17,9 +17,10 @@ real :class:`~repro.ingest.LossyLink` impairing each node's frames:
 
    - *conservation*: ``accepted + windows_lost + windows_resynced ==
      windows_sent`` — no window leaves the books;
-   - *bound*: ``windows_lost + windows_resynced <= loss_events *
-     keyframe_interval`` — one loss event can orphan at most the
-     difference chain up to the next keyframe;
+   - *bound*: ``windows_lost + windows_resynced <= loss_events +
+     burst_events * (keyframe_interval - 1)`` — every lost frame
+     charges its own window, and each *run* of adjacent losses can
+     orphan at most one difference chain up to the next keyframe;
    - *agreement*: the gateway's accepted sequences and accounting
      equal :func:`~repro.ingest.replay_survivors` run offline over
      the link's recorded delivered-frame sequence.
@@ -33,6 +34,14 @@ real :class:`~repro.ingest.LossyLink` impairing each node's frames:
 4. **Forced worst case.**  Deterministically dropping one keyframe
    (and, on a second stream, one mid-chain diff) pins the exact
    damage arithmetic of the resync state machine.
+
+5. **Two-tier recovery (PR 7 tentpole).**  The same iid-loss band
+   with ``fec=True`` nodes: parity epochs + NACK retransmission
+   drive residual damage to (near) zero — bounded by 2 % of the
+   fec-off damage, or one window, whichever is larger — with byte
+   overhead within the budget, while the parity-aware offline
+   replay still reproduces the gateway's accounting and every
+   delivered *or recovered* window stays bit-identical offline.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the fleet and the
 keyframe interval so ``scripts/run_tier1.sh`` exercises every section
@@ -79,6 +88,14 @@ FLUSH_MS = 100.0
 #: PRD agreement: delivered windows must match the clean run to
 #: solver floating-point noise (PRD is in percent)
 PRD_ATOL = 1e-5
+#: fec byte-overhead budget: one parity body per epoch is ~1/interval
+#: of the packet bytes plus the NACKed retransmits.  The paper-scale
+#: interval of 16 stays within the pinned 12 %; smoke's interval of 4
+#: makes parity alone ~1/4 of the bytes, so the gate relaxes there.
+OVERHEAD_BOUND = 0.6 if SMOKE else 0.12
+#: retransmit budget per stream (the gateway default, pinned here so
+#: the offline replay gives up at exactly the same point)
+NACK_BUDGET = 8
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +109,8 @@ def lossy_bench(bench_json):
             "batch_size": BATCH_SIZE,
             "flush_ms": FLUSH_MS,
             "loss_rates": list(LOSS_RATES),
+            "nack_budget": NACK_BUDGET,
+            "fec_overhead_bound": OVERHEAD_BOUND,
         },
         "timings": {},
         "scenarios": {},
@@ -140,10 +159,12 @@ def serial_refs(fleet):
     return refs
 
 
-async def _run_fleet(systems, records, channels):
+async def _run_fleet(systems, records, channels, fec=False):
     """Stream every node (through its channel, if any) into one
     gateway over the loopback transport."""
-    gateway = IngestGateway(batch_size=BATCH_SIZE, flush_ms=FLUSH_MS)
+    gateway = IngestGateway(
+        batch_size=BATCH_SIZE, flush_ms=FLUSH_MS, nack_budget=NACK_BUDGET
+    )
     clients = [
         NodeClient(
             system,
@@ -151,6 +172,7 @@ async def _run_fleet(systems, records, channels):
             max_packets=WINDOWS,
             interval_s=0.0,
             lossy_channel=channel,
+            fec=fec,
         )
         for system, record, channel in zip(systems, records, channels)
     ]
@@ -168,8 +190,8 @@ async def _run_fleet(systems, records, channels):
     return gateway, reports, [client.last_link for client in clients], wall
 
 
-def _run(systems, records, channels):
-    return asyncio.run(_run_fleet(systems, records, channels))
+def _run(systems, records, channels, fec=False):
+    return asyncio.run(_run_fleet(systems, records, channels, fec=fec))
 
 
 def _result_of(gateway, record_name):
@@ -177,33 +199,46 @@ def _result_of(gateway, record_name):
     return match.ordered()
 
 
-def _assert_survivor_agreement(gateway, systems, records, links):
+def _assert_survivor_agreement(gateway, systems, records, links, fec=False):
     """Gateway accounting == offline replay of the delivered frames,
-    and conservation holds per stream.  Returns per-stream damage."""
+    and conservation holds per stream.  Returns per-stream damage.
+
+    With ``fec`` the replay runs over the recorded ``(kind, body)``
+    frame sequence — parity included — and the recovery accounting
+    must agree too."""
     damage = []
     for system, record, link in zip(systems, records, links):
         result = _result_of(gateway, record.name)
         assert result.error is None
-        delivered = (
-            link.stats.delivered
-            if link is not None
-            else [
-                p.to_bytes()
-                for p in _encoded(system, record)
-            ]
-        )
+        if link is None:
+            delivered = [p.to_bytes() for p in _encoded(system, record)]
+        elif fec:
+            delivered = link.stats.delivered_frames
+        else:
+            delivered = link.stats.delivered
         accepted, accounting = replay_survivors(
             system.config,
             system.encoder.codebook,
             delivered,
             windows_sent=WINDOWS,
+            fec=fec,
+            nack_budget=NACK_BUDGET,
         )
         assert result.sequences == [seq for seq, _ in accepted]
         assert result.windows_lost == accounting.windows_lost
         assert result.windows_resynced == accounting.windows_resynced
         assert result.frames_corrupt == accounting.frames_corrupt
         assert result.frames_duplicate == accounting.frames_duplicate
-        # conservation: nothing leaves the books
+        assert (
+            result.windows_recovered_parity
+            == accounting.windows_recovered_parity
+        )
+        assert (
+            result.windows_recovered_retransmit
+            == accounting.windows_recovered_retransmit
+        )
+        # conservation: nothing leaves the books (recovered windows
+        # are delivered windows — counted once, inside num_windows)
         assert (
             result.num_windows
             + result.windows_lost
@@ -220,7 +255,7 @@ def _encoded(system, record):
     return encoded_packets(system, record, max_packets=WINDOWS)
 
 
-def _assert_offline_bit_identity(gateway, systems, records, links):
+def _assert_offline_bit_identity(gateway, systems, records, links, fec=False):
     """Replaying the gateway's logged batch compositions through the
     offline solver reproduces every delivered sample bit for bit."""
     columns: dict[tuple[int, int], np.ndarray] = {}
@@ -229,13 +264,18 @@ def _assert_offline_bit_identity(gateway, systems, records, links):
     for system, record, link in zip(systems, records, links):
         result = _result_of(gateway, record.name)
         by_session[result.session_id] = result
-        delivered = (
-            link.stats.delivered
-            if link is not None
-            else [p.to_bytes() for p in _encoded(system, record)]
-        )
+        if link is None:
+            delivered = [p.to_bytes() for p in _encoded(system, record)]
+        elif fec:
+            delivered = link.stats.delivered_frames
+        else:
+            delivered = link.stats.delivered
         accepted, _ = replay_survivors(
-            system.config, system.encoder.codebook, delivered
+            system.config,
+            system.encoder.codebook,
+            delivered,
+            fec=fec,
+            nack_budget=NACK_BUDGET,
         )
         for index, (_seq, column) in enumerate(accepted):
             columns[(result.session_id, index)] = column
@@ -361,12 +401,18 @@ def test_iid_loss_bounded_and_bit_identical(
             gateway, systems, records, serial_refs
         )
         for link, stream_damage in zip(links, damage):
+            # tight bound: every loss charges its own window, and each
+            # *run* of adjacent losses orphans at most one difference
+            # chain up to the next keyframe
             events = link.stats.loss_events
-            assert stream_damage <= events * KEYFRAME_INTERVAL, (
-                f"damage {stream_damage} exceeds {events} loss "
-                f"events x keyframe_interval {KEYFRAME_INTERVAL}"
+            bursts = link.stats.burst_events
+            bound = events + bursts * (KEYFRAME_INTERVAL - 1)
+            assert stream_damage <= bound, (
+                f"damage {stream_damage} exceeds {events} loss events "
+                f"+ {bursts} bursts x (interval - 1)"
             )
         dropped = sum(link.stats.frames_dropped for link in links)
+        bursts = sum(link.stats.burst_events for link in links)
         decoded = gateway.stats.windows_decoded
         rows.append(
             {
@@ -376,13 +422,104 @@ def test_iid_loss_bounded_and_bit_identical(
                 "decoded": decoded,
                 "lost": gateway.stats.windows_lost,
                 "resynced": gateway.stats.windows_resynced,
-                "damage_bound": dropped * KEYFRAME_INTERVAL,
+                "burst_events": bursts,
+                "damage_bound": dropped + bursts * (KEYFRAME_INTERVAL - 1),
                 "wall_s": wall,
             }
         )
         lossy_bench["scenarios"][f"loss_{rate:g}"] = rows[-1]
         lossy_bench["timings"][f"loss_{rate:g}_wall_s"] = wall
     print("\n" + render_table(rows, title="iid loss: accounted damage"))
+
+
+def test_fec_nack_drives_losses_to_near_zero(
+    fleet, serial_refs, lossy_bench
+):
+    """The PR 7 tentpole claim, end to end over a live loopback: with
+    ``fec=True`` the same lossy channel that damages a plain stream
+    leaves (almost) nothing lost — parity recovers single-loss epochs
+    locally, NACKed retransmits fill the rest — within the byte
+    overhead budget, with conservation exact and every delivered or
+    recovered window bit-identical to the offline parity-aware
+    replay."""
+    systems, records = fleet
+    rows = []
+    for rate in LOSS_RATES:
+        off_gateway, off_reports, _off_links, _ = _run(
+            systems,
+            records,
+            [LossyChannel(loss=rate, seed=2011 + i) for i in range(STREAMS)],
+        )
+        assert all(report.error is None for report in off_reports)
+        off_damage = (
+            off_gateway.stats.windows_lost
+            + off_gateway.stats.windows_resynced
+        )
+        gateway, reports, links, wall = _run(
+            systems,
+            records,
+            [LossyChannel(loss=rate, seed=2011 + i) for i in range(STREAMS)],
+            fec=True,
+        )
+        assert all(report.error is None for report in reports)
+        _assert_survivor_agreement(
+            gateway, systems, records, links, fec=True
+        )
+        _assert_offline_bit_identity(
+            gateway, systems, records, links, fec=True
+        )
+        _assert_delivered_prd_matches_clean(
+            gateway, systems, records, serial_refs
+        )
+        fec_damage = (
+            gateway.stats.windows_lost + gateway.stats.windows_resynced
+        )
+        # residual damage: <= 2 % of the fec-off damage, or one window
+        assert fec_damage <= max(1, round(0.02 * off_damage)), (
+            f"loss {rate}: fec damage {fec_damage} vs off {off_damage}"
+        )
+        if off_damage:
+            assert fec_damage < off_damage
+        recovered = (
+            gateway.stats.windows_recovered_parity
+            + gateway.stats.windows_recovered_retransmit
+        )
+        if off_damage:
+            assert recovered > 0  # the improvement came from recovery
+        # byte overhead: parity + retransmits over packet bytes
+        for report in reports:
+            assert report.parity_bytes > 0  # fec actually engaged
+            assert report.overhead_ratio <= OVERHEAD_BOUND, (
+                f"overhead {report.overhead_ratio:.3f} exceeds "
+                f"{OVERHEAD_BOUND}"
+            )
+        overhead = max(report.overhead_ratio for report in reports)
+        rows.append(
+            {
+                "loss_rate": rate,
+                "sent": STREAMS * WINDOWS,
+                "fec_off_damage": off_damage,
+                "fec_damage": fec_damage,
+                "recovered_parity": (
+                    gateway.stats.windows_recovered_parity
+                ),
+                "recovered_retransmit": (
+                    gateway.stats.windows_recovered_retransmit
+                ),
+                "nacks_sent": gateway.stats.nacks_sent,
+                "late_retransmits": (
+                    gateway.stats.frames_late_retransmit
+                ),
+                "overhead_ratio": round(overhead, 4),
+                "wall_s": wall,
+            }
+        )
+        lossy_bench["scenarios"][f"fec_loss_{rate:g}"] = rows[-1]
+        lossy_bench["timings"][f"fec_loss_{rate:g}_wall_s"] = wall
+    print(
+        "\n"
+        + render_table(rows, title="fec + nack: residual damage")
+    )
 
 
 def test_forced_keyframe_and_diff_drop(fleet, serial_refs, lossy_bench):

@@ -57,6 +57,28 @@ if [[ "${1:-}" != "--fast" ]]; then
         fi
     done
 
+    # the lossy-channel bench must report the two-tier recovery fields
+    # (a fec scenario that silently stops running would pass the mere
+    # existence check above)
+    python - <<'EOF'
+import json, sys
+with open("benchmarks/results/BENCH_lossy_channel.json") as fh:
+    payload = json.load(fh)
+fec = [k for k in payload["scenarios"] if k.startswith("fec_loss_")]
+if not fec:
+    sys.exit("ERROR: BENCH_lossy_channel.json has no fec_loss_* scenario")
+required = (
+    "fec_damage", "fec_off_damage", "recovered_parity",
+    "recovered_retransmit", "nacks_sent", "late_retransmits",
+    "overhead_ratio",
+)
+for key in fec:
+    missing = [f for f in required if f not in payload["scenarios"][key]]
+    if missing:
+        sys.exit(f"ERROR: scenario {key} missing fields: {missing}")
+print(f"fec scenario fields OK ({len(fec)} scenario(s))")
+EOF
+
     echo "== example smokes =="
     python examples/quickstart.py > /dev/null
     python examples/live_gateway.py > /dev/null

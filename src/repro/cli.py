@@ -47,7 +47,8 @@ _FIGURES = ("fig2", "fig6", "fig7")
 #: README drift check (scripts/run_tier1.sh) greps for each of these,
 #: so the docs cannot silently fall behind the CLI
 CHANNEL_FLAGS = (
-    "--loss", "--reorder", "--dup", "--corrupt", "--channel-seed"
+    "--loss", "--reorder", "--dup", "--corrupt", "--channel-seed",
+    "--fec", "--nack-budget",
 )
 
 #: the telemetry/adaptive flags of ``serve``; drift-checked against
@@ -291,6 +292,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2011,
         help="seed of the impairment RNG (per-node offsets applied)",
     )
+    channel.add_argument(
+        "--fec",
+        action="store_true",
+        help=(
+            "enable two-tier recovery: nodes emit one XOR parity "
+            "frame per keyframe epoch (single-loss repair, zero "
+            "round trips) and answer gateway NACKs with "
+            "retransmissions for multi-loss epochs"
+        ),
+    )
+    channel.add_argument(
+        "--nack-budget",
+        type=int,
+        default=8,
+        help=(
+            "per-stream cap on NACKed sequences before the gateway "
+            "falls back to keyframe resync (with --fec)"
+        ),
+    )
 
     fig8 = sub.add_parser("fig8", help="simulate the real-time pipeline")
     fig8.add_argument("--cr", type=float, default=50.0)
@@ -458,6 +478,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.fleet_workers,
             telemetry=registry,
             adaptive=args.adaptive,
+            nack_budget=args.nack_budget,
         )
         # validates the --loss/--reorder/--dup/--corrupt probabilities
         channel_template = LossyChannel(
@@ -579,6 +600,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     interval_s=args.interval_ms / 1000.0,
                     lossy_channel=lossy,
                     telemetry=registry,
+                    fec=args.fec,
                 )
             )
         try:
@@ -613,6 +635,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "sent": report.sent,
                     "decoded": report.acked,
                     "lost": result.windows_lost,
+                    "recovered": getattr(result, "windows_recovered", 0),
                     "resynced": result.windows_resynced,
                     "corrupt": result.frames_corrupt,
                     "dup": result.frames_duplicate,
@@ -637,6 +660,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f", channel loss={args.loss:g} reorder={args.reorder:g} "
                 f"dup={args.dup:g} corrupt={args.corrupt:g}"
             )
+        if args.fec:
+            title += f", fec on (nack budget {args.nack_budget})"
         print(render_result_table(rows, title=title))
         print(
             f"{stats.windows_decoded} windows in {stats.batches} pooled "
@@ -652,6 +677,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.frames_corrupt} corrupt frames, "
             f"{stats.frames_duplicate} duplicate/stale frames dropped"
         )
+        if args.fec:
+            recovered = (
+                stats.windows_recovered_parity
+                + stats.windows_recovered_retransmit
+            )
+            print(
+                f"recovery: {recovered} windows recovered "
+                f"({stats.windows_recovered_parity} parity, "
+                f"{stats.windows_recovered_retransmit} retransmit), "
+                f"{stats.nacks_sent} sequences NACKed, "
+                f"{stats.frames_late_retransmit} late retransmits dropped"
+            )
         if args.adaptive:
             controller = gateway.controller
             print(

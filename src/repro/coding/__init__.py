@@ -13,7 +13,23 @@ from .codebook import Codebook, train_codebook, laplacian_frequencies
 from .redundancy import DifferentialCodec
 from .rice import RiceCoder, optimal_rice_parameter, zigzag_decode, zigzag_encode
 
+# imported last: fec reaches into repro.core for the on-air packet
+# layout, and repro.core's encoder imports back into this package —
+# everything it needs is bound above, so the cycle resolves here
+from .fec import (
+    covered_sequences,
+    decode_parity_body,
+    encode_parity_body,
+    recover_body,
+    xor_fold,
+)
+
 __all__ = [
+    "covered_sequences",
+    "decode_parity_body",
+    "encode_parity_body",
+    "recover_body",
+    "xor_fold",
     "RiceCoder",
     "optimal_rice_parameter",
     "zigzag_decode",

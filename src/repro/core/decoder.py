@@ -63,18 +63,29 @@ class PacketPayloadDecoder:
         )
         self.quantizer = MeasurementQuantizer(d=config.d)
         self._awaiting_keyframe = False
+        self._keyframe_admitted = False
 
     def reset(self) -> None:
         """Drop the inter-packet reference state."""
         self.codec.reset()
         self._awaiting_keyframe = False
+        self._keyframe_admitted = False
 
     # -- lossy-channel recovery ----------------------------------------
     @property
     def awaiting_keyframe(self) -> bool:
         """Whether stage 2 is resyncing: difference packets are
-        undecodable until the next keyframe re-anchors the chain."""
-        return self._awaiting_keyframe or not self.codec.has_reference
+        undecodable until the next keyframe re-anchors the chain.
+
+        A keyframe re-anchors at *admission* time (the ``_keyframe_
+        admitted`` latch), not only once decoded: the recovery drain
+        admits a whole held run before the caller decodes any of it,
+        and the differences behind an admitted-but-not-yet-decoded
+        keyframe are decodable because the caller always decodes
+        accepted packets in admission order."""
+        return self._awaiting_keyframe or not (
+            self.codec.has_reference or self._keyframe_admitted
+        )
 
     def resync(self) -> None:
         """Enter the resync state after a sequence gap or corrupt frame.
@@ -87,6 +98,7 @@ class PacketPayloadDecoder:
         """
         self.codec.reset()
         self._awaiting_keyframe = True
+        self._keyframe_admitted = False
 
     def skip_to_keyframe(self, packet: EncodedPacket) -> bool:
         """Whether ``packet`` must be discarded to reach a keyframe.
@@ -98,6 +110,7 @@ class PacketPayloadDecoder:
         """
         if packet.kind is PacketKind.KEYFRAME:
             self._awaiting_keyframe = False
+            self._keyframe_admitted = True
             return False
         return self.awaiting_keyframe
 
@@ -109,6 +122,7 @@ class PacketPayloadDecoder:
             )
         if packet.kind is PacketKind.KEYFRAME:
             self._awaiting_keyframe = False
+            self._keyframe_admitted = True
             values = unpack_keyframe_values(packet.payload, self.config.m)
             return self.codec.decode(True, values)
         if self._awaiting_keyframe:

@@ -20,7 +20,8 @@ path a telecardiology coordinator actually runs:
 - :mod:`~repro.ingest.channel` — the lossy-radio model: a seeded
   :class:`LossyLink` impairment wrapper (drops, reorders, duplicates,
   CRC-corrupting bit flips) plus the sequence-gap recovery state
-  machine (:class:`SequenceTracker`, :func:`admit_packet`) the gateway
+  machine (:class:`SequenceTracker`, :func:`admit_packet`, and the
+  two-tier :class:`StreamRecovery` parity/NACK front-end) the gateway
   runs per session, and :func:`replay_survivors`, the offline
   reference over a recorded delivered-frame sequence;
 - :mod:`~repro.ingest.adaptive` — the AIMD batch controller
@@ -51,12 +52,14 @@ from .adaptive import (
     SolveTimeModel,
 )
 from .channel import (
+    HOLD_CAP_EPOCHS,
     FrameVerdict,
     LinkStats,
     LossAccounting,
     LossyChannel,
     LossyLink,
     SequenceTracker,
+    StreamRecovery,
     admit_packet,
     replay_survivors,
 )
@@ -71,6 +74,7 @@ from .gateway import (
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameKind,
     Handshake,
     encode_frame,
@@ -87,6 +91,7 @@ __all__ = [
     "SolveTimeModel",
     "FrameVerdict",
     "GatewayStats",
+    "HOLD_CAP_EPOCHS",
     "Handshake",
     "IngestGateway",
     "IngestStreamResult",
@@ -98,7 +103,9 @@ __all__ = [
     "NodeClient",
     "NodeReport",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "SequenceTracker",
+    "StreamRecovery",
     "admit_packet",
     "encode_frame",
     "encode_json_frame",

@@ -16,6 +16,16 @@ holds *both* sides of that reality:
   gap or a corrupt CRC triggers a *resync* (difference packets are
   discarded until the next keyframe re-anchors stage 2), and every
   discarded window is accounted in :class:`LossAccounting`;
+- :class:`StreamRecovery` — the two-tier recovery front-end layered
+  *before* :func:`admit_packet` for fec-enabled (protocol v2) streams:
+  a sequence gap opens a *hold* instead of an immediate resync, the
+  epoch's ``PARITY`` frame reconstructs a single missing body locally
+  (tier 1, :mod:`repro.coding.fec`), a ``NACK`` solicits retransmission
+  of anything parity cannot cover (tier 2), and only when both tiers
+  fail does the held run drain through the untouched keyframe-resync
+  path.  Every trigger is frame-driven (parity arrival, next keyframe,
+  BYE, hold cap, retransmit budget), so the live gateway and the
+  offline replay make identical decisions from the same frame stream;
 - :func:`replay_survivors` — the offline reference: the same state
   machine applied to a recorded delivered-frame sequence, used by
   ``benchmarks/bench_lossy_channel.py`` to pin that the live gateway's
@@ -30,21 +40,28 @@ keyframe.  The accounting invariant, per stream::
 
     windows_accepted + windows_lost + windows_resynced == windows_sent
 
-(``frames_duplicate`` and ``frames_corrupt`` count *frames*, not
-windows: a duplicate's window was already accepted, and a corrupt
-frame's window surfaces in ``windows_lost`` through the sequence gap
-it leaves behind.)
+where ``windows_accepted`` includes recovered windows — a window
+reconstructed from parity or filled by a retransmission counts under
+``windows_recovered_parity`` / ``windows_recovered_retransmit`` *and*
+decodes like any accepted window, but is never double-counted as lost.
+(``frames_duplicate``, ``frames_corrupt`` and
+``frames_late_retransmit`` count *frames*, not windows: a duplicate's
+window was already accepted, a corrupt frame's window surfaces through
+the sequence gap it leaves behind, and a late retransmit's window was
+already charged when recovery gave up on it.)
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 import numpy as np
 
+from ..coding.fec import covered_sequences, decode_parity_body, recover_body
 from ..core.decoder import PacketPayloadDecoder
-from ..core.packets import EncodedPacket
+from ..core.packets import EncodedPacket, PacketKind
 from ..errors import ConfigurationError, PacketFormatError
 from ..telemetry import NULL_METER, Meter
 from .protocol import FrameKind
@@ -77,6 +94,11 @@ class FrameVerdict(enum.Enum):
     #: difference packet during resync: discarded, waiting for the
     #: next keyframe to re-anchor the difference chain
     RESYNC_SKIP = "resync_skip"
+    #: a copy of a window the recovery layer already gave up on (its
+    #: gap was charged and the stream resynced past it): discarded,
+    #: but accounted under ``frames_late_retransmit`` instead of
+    #: vanishing into the duplicate counter
+    LATE_RETRANSMIT = "late_retransmit"
 
 
 @dataclass
@@ -94,11 +116,27 @@ class LossAccounting:
     #: frames dropped idempotently: true duplicates and reordered
     #: frames arriving after their window was already counted lost
     frames_duplicate: int = 0
+    #: windows reconstructed locally from an epoch ``PARITY`` frame
+    #: (tier-1 recovery) and then accepted — never also counted lost
+    windows_recovered_parity: int = 0
+    #: windows filled by a retransmitted (or late-reordered) copy while
+    #: recovery was holding the gap open (tier-2) and then accepted
+    windows_recovered_retransmit: int = 0
+    #: retransmitted frames that arrived only after recovery gave up on
+    #: their window (the gap was already charged and the stream
+    #: resynced past it): dropped, but visible here instead of blending
+    #: into ``frames_duplicate``
+    frames_late_retransmit: int = 0
 
     @property
     def windows_damaged(self) -> int:
         """Total windows this stream did not decode (lost + resynced)."""
         return self.windows_lost + self.windows_resynced
+
+    @property
+    def windows_recovered(self) -> int:
+        """Windows that would have been damaged but were recovered."""
+        return self.windows_recovered_parity + self.windows_recovered_retransmit
 
 
 class SequenceTracker:
@@ -145,6 +183,18 @@ class SequenceTracker:
     def count_duplicate(self) -> None:
         self.accounting.frames_duplicate += 1
         self.meter.inc("ingest_frames_duplicate")
+
+    def count_recovered_parity(self) -> None:
+        self.accounting.windows_recovered_parity += 1
+        self.meter.inc("ingest_windows_recovered_parity")
+
+    def count_recovered_retransmit(self) -> None:
+        self.accounting.windows_recovered_retransmit += 1
+        self.meter.inc("ingest_windows_recovered_retransmit")
+
+    def count_late_retransmit(self) -> None:
+        self.accounting.frames_late_retransmit += 1
+        self.meter.inc("ingest_frames_late_retransmit")
 
     def close_stream(self, windows_sent: int) -> None:
         """Account the tail gap of an orderly stream end.
@@ -199,33 +249,415 @@ def admit_packet(
     return FrameVerdict.ACCEPT, packet
 
 
+#: hold cap in keyframe epochs: a gap still unfilled after this many
+#: epochs of held frames will never be (the node's retransmit ring has
+#: rolled past it), so recovery gives up frame-deterministically
+HOLD_CAP_EPOCHS = 4
+
+#: how a held gap got filled (the tier that recovered the window)
+_VIA_PARITY = "parity"
+_VIA_RETRANSMIT = "retransmit"
+
+
+class StreamRecovery:
+    """Two-tier (parity + NACK) recovery front-end of one stream.
+
+    Sits between the wire and :func:`admit_packet`.  With ``fec`` off
+    every ``PACKET`` body flows straight through the plain admission
+    path — bit-identical to a v1 stream.  With ``fec`` on, a sequence
+    gap *holds* subsequent frames un-admitted (and un-charged) while
+    the tiers try to close it:
+
+    1. the epoch's ``PARITY`` frame XOR-reconstructs a single missing
+       body locally (CRC-validated, zero round trips);
+    2. anything parity cannot cover (>= 2 losses in one epoch, a lost
+       parity, or a tail gap) is ``NACK``ed via ``on_nack`` and filled
+       by the node's retransmission — a retransmit-aware fill, not a
+       duplicate;
+    3. when the retransmit budget is spent, the hold cap overflows, or
+       the stream closes with the gap still open, the held run drains
+       through the untouched :func:`admit_packet` keyframe-resync path
+       (PR 4 semantics), and any later copy of a given-up window is
+       classified :attr:`FrameVerdict.LATE_RETRANSMIT`.
+
+    Every decision is frame-driven — parity arrival, next-keyframe
+    arrival, ``BYE``, hold-cap, budget — never wall-clock, so the live
+    gateway and the offline :func:`replay_survivors` reference reach
+    identical verdicts and accounting from the same delivered-frame
+    sequence.  (The gateway's post-``BYE`` read deadline only fires
+    when an awaited retransmit never arrives, in which case both sides
+    converge through the same :meth:`give_up`.)
+
+    Each method returns the admission events it released, in decode
+    order, as ``(verdict, packet)`` pairs; the caller decodes
+    :attr:`FrameVerdict.ACCEPT` packets exactly as before.
+    """
+
+    def __init__(
+        self,
+        tracker: SequenceTracker,
+        payload: PacketPayloadDecoder,
+        *,
+        fec: bool = False,
+        nack_budget: int = 8,
+        on_nack: Callable[[list[int]], None] | None = None,
+    ) -> None:
+        self.tracker = tracker
+        self.payload = payload
+        self.fec = bool(fec)
+        self.nack_budget = int(nack_budget)
+        self.on_nack = on_nack
+        interval = payload.config.keyframe_interval
+        self._hold_cap = HOLD_CAP_EPOCHS * interval
+        self._body_window = 2 * interval
+        #: held frame bodies behind an open gap, keyed by sequence
+        self._pending: dict[int, bytes] = {}
+        #: open-gap sequences still wanted (NACKable / parity targets)
+        self._missing: set[int] = set()
+        #: which tier filled a missing sequence, for accounting on drain
+        self._via: dict[int, str] = {}
+        #: highest sequence noted while holding (``None`` in flow state)
+        self._horizon: int | None = None
+        #: recently admitted bodies, retained for parity reconstruction
+        self._bodies: dict[int, bytes] = {}
+        self._nacked: set[int] = set()
+        self._nack_spent = 0
+        self._given_up: set[int] = set()
+        self._declared: int | None = None
+
+    # -- observable state ------------------------------------------------
+    @property
+    def holding(self) -> bool:
+        """Whether a gap is open (frames held, admission deferred)."""
+        return bool(self._missing or self._pending)
+
+    @property
+    def nacks_sent(self) -> int:
+        """Sequences NACKed so far (counts against the budget)."""
+        return self._nack_spent
+
+    # -- frame entry points ----------------------------------------------
+    def on_packet(
+        self, body: bytes
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Route one wire ``PACKET`` body through recovery."""
+        if not self.fec:
+            return [admit_packet(self.tracker, self.payload, body)]
+        try:
+            packet = EncodedPacket.from_bytes(body)
+        except PacketFormatError:
+            # Unlike the plain path, do NOT resync yet: the corrupted
+            # window's gap surfaces at the next good frame and parity
+            # or a retransmit can still recover the original body.
+            self.tracker.count_corrupt()
+            return [(FrameVerdict.CORRUPT, None)]
+        seq = packet.sequence
+        if not self.holding:
+            delta = self.tracker.delta(seq)
+            if delta < 0:
+                return [self._stale(seq, packet)]
+            if delta == 0:
+                return [self._admit(body)]
+            # a gap opened: hold this frame instead of charging the gap
+            self._note_ahead(seq, body)
+            return self._after_hold_grew(packet)
+        # holding: classify against the open gap
+        if seq in self._missing:
+            return self._fill(seq, body, _VIA_RETRANSMIT)
+        if seq in self._pending:
+            self.tracker.count_duplicate()
+            return [(FrameVerdict.STALE, packet)]
+        if self._behind_hold(seq):
+            return [self._stale(seq, packet)]
+        self._note_ahead(seq, body)
+        return self._after_hold_grew(packet)
+
+    def on_parity(
+        self, body: bytes
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Route one ``PARITY`` frame body through tier-1 recovery."""
+        if not self.fec:
+            return []  # fec-off stream: parity is inert
+        self.tracker.meter.inc("ingest_parity_frames")
+        try:
+            base, count, parity = decode_parity_body(body)
+        except PacketFormatError:
+            return []  # damaged parity: tier 2 still covers the epoch
+        covered = covered_sequences(base, count)
+        # Parity also *reveals* a tail gap of its epoch: a covered
+        # sequence that neither arrived nor is already wanted must have
+        # been dropped with no later packet to expose it yet.
+        for seq in covered:
+            if (
+                seq not in self._pending
+                and seq not in self._missing
+                and not self._behind_hold(seq)
+            ):
+                self._note_missing(seq)
+        wanted = [seq for seq in covered if seq in self._missing]
+        if not wanted:
+            return []
+        if len(wanted) == 1:
+            events = self._try_parity_recover(wanted[0], covered, parity)
+            if events is not None:
+                return events
+        # >= 2 losses in the epoch (or reconstruction failed): tier 2
+        return self._nack(wanted)
+
+    def bye(
+        self, declared: int | None
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Orderly stream end: reveal the tail gap, NACK what remains.
+
+        Returns admission events; afterwards the caller should keep
+        reading retransmits while :attr:`holding` (bounded by its own
+        deadline) and finally call :meth:`close`.  A fec-off stream
+        charges the tail immediately, exactly as before.
+        """
+        self._declared = declared
+        if not self.fec:
+            if declared is not None:
+                self.tracker.close_stream(declared)
+            return []
+        if declared is not None:
+            # reveal every declared-but-unseen tail sequence as missing
+            final = declared % _SEQ_MOD
+            while True:
+                nxt = (
+                    self.tracker.expected
+                    if self._horizon is None
+                    else (self._horizon + 1) % _SEQ_MOD
+                )
+                if sequence_delta(nxt, final) <= 0:
+                    break
+                self._note_missing(nxt)
+        if self._missing:
+            return self._nack(sorted(self._missing, key=self._order))
+        return []
+
+    def close(self) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Final flush at link end: give up whatever is still open."""
+        return self.give_up()
+
+    # -- recovery internals ----------------------------------------------
+    def give_up(self) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Abandon the open gap: drain held frames through the plain
+        keyframe-resync path (which charges the missing windows), and
+        remember the abandoned sequences so late retransmits classify
+        as :attr:`FrameVerdict.LATE_RETRANSMIT`.  Idempotent."""
+        if self._missing:
+            self._given_up.update(self._missing)
+            self._missing.clear()
+        self._via.clear()
+        events = self._drain() if self._pending else []
+        self._horizon = None
+        if self._declared is not None:
+            final = self._declared % _SEQ_MOD
+            gap = self.tracker.delta(final)
+            if gap > 0:
+                self._given_up.update(
+                    (self.tracker.expected + i) % _SEQ_MOD for i in range(gap)
+                )
+            self.tracker.close_stream(self._declared)
+        return events
+
+    def _order(self, seq: int) -> int:
+        """Ascending stream order of ``seq`` (mod-2^16 safe)."""
+        return sequence_delta(self.tracker.expected, seq)
+
+    def _behind_hold(self, seq: int) -> bool:
+        """Whether ``seq`` is behind everything recovery still wants."""
+        return self.tracker.delta(seq) < 0
+
+    def _stale(
+        self, seq: int, packet: EncodedPacket
+    ) -> tuple[FrameVerdict, EncodedPacket]:
+        if seq in self._given_up:
+            self.tracker.count_late_retransmit()
+            return FrameVerdict.LATE_RETRANSMIT, packet
+        self.tracker.count_duplicate()
+        return FrameVerdict.STALE, packet
+
+    def _admit(
+        self, body: bytes
+    ) -> tuple[FrameVerdict, EncodedPacket | None]:
+        """Plain admission of one body + retention for parity math."""
+        verdict, packet = admit_packet(self.tracker, self.payload, body)
+        if packet is not None and verdict in (
+            FrameVerdict.ACCEPT,
+            FrameVerdict.RESYNC_SKIP,
+        ):
+            self._bodies[packet.sequence] = body
+            while len(self._bodies) > self._body_window:
+                self._bodies.pop(next(iter(self._bodies)))
+        return verdict, packet
+
+    def _note_missing(self, seq: int) -> None:
+        """Mark an unseen sequence at/ahead of the horizon as missing."""
+        if self._horizon is None:
+            for i in range(self.tracker.delta(seq)):
+                self._missing.add((self.tracker.expected + i) % _SEQ_MOD)
+            self._missing.add(seq)
+            self._horizon = seq
+            return
+        rel = sequence_delta(self._horizon, seq)
+        for i in range(1, rel + 1):
+            self._missing.add((self._horizon + i) % _SEQ_MOD)
+        if rel > 0:
+            self._horizon = seq
+
+    def _note_ahead(self, seq: int, body: bytes) -> None:
+        """Hold an ahead-of-expected body; open/extend the gap."""
+        self._note_missing(seq)
+        self._missing.discard(seq)
+        self._pending[seq] = body
+
+    def _after_hold_grew(
+        self, packet: EncodedPacket
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Frame-driven triggers after a new frame joined the hold."""
+        events: list[tuple[FrameVerdict, EncodedPacket | None]] = []
+        if packet.kind is PacketKind.KEYFRAME and self._missing:
+            # a new epoch began: any still-missing earlier window will
+            # never see its parity frame again — NACK now
+            events.extend(self._nack(sorted(self._missing, key=self._order)))
+        if len(self._pending) >= self._hold_cap:
+            events.extend(self.give_up())
+        return events
+
+    def _fill(
+        self, seq: int, body: bytes, via: str
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """A wanted body arrived (retransmit, parity reconstruction, or
+        a late-reordered original): close that part of the gap."""
+        self._missing.discard(seq)
+        self._pending[seq] = body
+        self._via[seq] = via
+        if self._missing:
+            return []
+        events = self._drain()
+        self._horizon = None
+        return events
+
+    def _drain(self) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Admit every held body in stream order through the plain
+        path.  With the gap fully filled this releases a loss-free run;
+        after :meth:`give_up` the first drained frame exposes the
+        remaining gap and :func:`admit_packet` charges it (PR 4)."""
+        events: list[tuple[FrameVerdict, EncodedPacket | None]] = []
+        for seq in sorted(self._pending, key=self._order):
+            body = self._pending.pop(seq)
+            verdict, packet = self._admit(body)
+            via = self._via.pop(seq, None)
+            if verdict is FrameVerdict.ACCEPT and via is not None:
+                if via == _VIA_PARITY:
+                    self.tracker.count_recovered_parity()
+                else:
+                    self.tracker.count_recovered_retransmit()
+            events.append((verdict, packet))
+        self._via.clear()
+        return events
+
+    def _try_parity_recover(
+        self, missing: int, covered: list[int], parity: bytes
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]] | None:
+        """Tier 1: XOR-reconstruct the epoch's single missing body.
+
+        Returns the released admission events, or ``None`` when the
+        reconstruction is impossible (a peer body is unavailable) or
+        fails CRC validation — the caller then falls through to NACK.
+        """
+        present: list[bytes] = []
+        for seq in covered:
+            if seq == missing:
+                continue
+            body = self._pending.get(seq)
+            if body is None:
+                body = self._bodies.get(seq)
+            if body is None:
+                return None  # peer body already pruned: cannot fold
+            present.append(body)
+        try:
+            recovered = recover_body(parity, present)
+            packet = EncodedPacket.from_bytes(recovered)
+        except PacketFormatError:
+            return None  # reconstruction invalid (e.g. damaged parity)
+        if packet.sequence != missing:
+            return None
+        return self._fill(missing, recovered, _VIA_PARITY)
+
+    def _nack(
+        self, sequences: Iterable[int]
+    ) -> list[tuple[FrameVerdict, EncodedPacket | None]]:
+        """Tier 2: request retransmission, one shot per sequence,
+        bounded by the budget; a blown budget abandons the gap."""
+        want = [seq for seq in sequences if seq not in self._nacked]
+        if not want:
+            return []
+        if self._nack_spent + len(want) > self.nack_budget:
+            return self.give_up()
+        self._nack_spent += len(want)
+        self._nacked.update(want)
+        self.tracker.meter.inc("ingest_nacks_sent", len(want))
+        if self.on_nack is not None:
+            self.on_nack(want)
+        return []
+
+
 def replay_survivors(
     config,
     codebook,
-    delivered: list[bytes],
+    delivered: list,
     dtype: type = np.float64,
     windows_sent: int | None = None,
+    fec: bool = False,
+    nack_budget: int = 8,
 ) -> tuple[list[tuple[int, np.ndarray]], LossAccounting]:
-    """Offline stage-2 reference over a delivered ``PACKET`` sequence.
+    """Offline stage-2 reference over a delivered frame sequence.
 
-    Applies exactly the admission rules the gateway applies live
-    (:func:`admit_packet` both times) and returns the accepted windows
-    as ``(sequence, dequantized measurement column)`` pairs plus the
-    accounting.  ``delivered`` is the post-impairment frame-body list a
-    :class:`LossyLink` recorded (:attr:`LinkStats.delivered`).
+    Applies exactly the admission rules the gateway applies live (the
+    same :class:`StreamRecovery` over the same :func:`admit_packet`,
+    both times) and returns the accepted windows as ``(sequence,
+    dequantized measurement column)`` pairs plus the accounting.
+
+    ``delivered`` items are either raw ``PACKET`` bodies (``bytes``,
+    the classic :attr:`LinkStats.delivered` view) or ``(kind, body)``
+    pairs from :attr:`LinkStats.delivered_frames` — the latter is what
+    carries ``PARITY`` frames into a ``fec=True`` replay.  NACK
+    retransmissions need no side channel here: a retransmitted copy
+    appears in the recorded stream as an ordinary delivery, and the
+    machine treats any arrival of a wanted sequence as a fill.  The
+    budget must match the live gateway's so both give up identically.
     """
     payload = PacketPayloadDecoder(config, codebook=codebook)
     tracker = SequenceTracker()
+    recovery = StreamRecovery(
+        tracker, payload, fec=fec, nack_budget=nack_budget
+    )
     accepted: list[tuple[int, np.ndarray]] = []
-    for body in delivered:
-        verdict, packet = admit_packet(tracker, payload, body)
-        if verdict is FrameVerdict.ACCEPT:
-            y_q = payload.decode_payload(packet)
-            accepted.append(
-                (packet.sequence, payload.quantizer.dequantize(y_q).astype(dtype))
-            )
-    if windows_sent is not None:
-        tracker.close_stream(windows_sent)
+
+    def _decode(events) -> None:
+        for verdict, packet in events:
+            if verdict is FrameVerdict.ACCEPT:
+                y_q = payload.decode_payload(packet)
+                accepted.append(
+                    (
+                        packet.sequence,
+                        payload.quantizer.dequantize(y_q).astype(dtype),
+                    )
+                )
+
+    for item in delivered:
+        if isinstance(item, (bytes, bytearray)):
+            kind, body = FrameKind.PACKET, bytes(item)
+        else:
+            kind, body = FrameKind(item[0]), bytes(item[1])
+        if kind is FrameKind.PARITY:
+            _decode(recovery.on_parity(body))
+        else:
+            _decode(recovery.on_packet(body))
+    _decode(recovery.bye(windows_sent))
+    _decode(recovery.close())
     return accepted, tracker.accounting
 
 
@@ -244,6 +676,9 @@ class LinkStats:
     frames_duplicated: int = 0
     frames_corrupted: int = 0
     frames_delivered: int = 0
+    #: PARITY frames that entered the link / were dropped by it
+    parity_seen: int = 0
+    parity_dropped: int = 0
     #: sequence numbers of dropped frames (pre-impairment header read)
     dropped_sequences: list[int] = field(default_factory=list)
     #: sequence numbers whose delivered copy was bit-flipped
@@ -251,12 +686,40 @@ class LinkStats:
     #: the exact post-impairment PACKET bodies, in delivery order —
     #: the surviving packet set an offline replay consumes
     delivered: list[bytes] = field(default_factory=list)
+    #: post-impairment ``(frame kind, body)`` pairs in delivery order,
+    #: including PARITY frames — the input of a ``fec=True``
+    #: :func:`replay_survivors`
+    delivered_frames: list[tuple[int, bytes]] = field(default_factory=list)
+    #: per-PACKET fate in sender order (``"delivered"``/``"dropped"``/
+    #: ``"corrupted"``) — the run-length view behind ``burst_events``
+    fate_log: list[str] = field(default_factory=list)
 
     @property
     def loss_events(self) -> int:
         """Events that can each damage up to ``keyframe_interval``
         windows: outright drops plus CRC-corrupting flips."""
         return self.frames_dropped + self.frames_corrupted
+
+    @property
+    def burst_events(self) -> int:
+        """Loss events with consecutive drops collapsed into one.
+
+        A burst of k back-to-back drops costs at most ``k`` lost
+        windows plus *one* resync run to the next keyframe — not k of
+        them — so the tight damage bound is ``loss_events +
+        burst_events * (keyframe_interval - 1)``, charging each burst
+        one resync epoch instead of one per dropped frame.
+        """
+        bursts = 0
+        in_burst = False
+        for fate in self.fate_log:
+            if fate in ("dropped", "corrupted"):
+                if not in_burst:
+                    bursts += 1
+                in_burst = True
+            else:
+                in_burst = False
+        return bursts
 
 
 @dataclass(frozen=True)
@@ -288,6 +751,13 @@ class LossyChannel:
         Deterministically drop these sequence numbers (first pass of
         each) regardless of ``loss`` — for targeted tests such as
         "drop exactly the second keyframe".
+    drop_parity_epochs:
+        Deterministically drop the ``PARITY`` frame whose epoch base
+        sequence is listed here (first pass of each) — for targeted
+        tests such as "lose a keyframe *and* its parity".  ``PARITY``
+        frames are otherwise subject to ``loss`` only: a bit-flipped
+        parity is already modeled by the recovery layer rejecting it,
+        and reordering it would test frame scheduling, not recovery.
     seed:
         Seed of the link's private RNG; same seed + same frame stream
         => same fates.
@@ -299,6 +769,7 @@ class LossyChannel:
     corrupt: float = 0.0
     reorder_window: int = 2
     drop_sequences: tuple[int, ...] = ()
+    drop_parity_epochs: tuple[int, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -318,7 +789,7 @@ class LossyChannel:
         """Whether this channel can damage anything at all."""
         return bool(
             self.loss or self.reorder or self.duplicate or self.corrupt
-            or self.drop_sequences
+            or self.drop_sequences or self.drop_parity_epochs
         )
 
     def wrap(self, writer, meter: Meter = NULL_METER) -> "LossyLink":
@@ -353,6 +824,7 @@ class LossyLink:
         #: reordered frames in flight: [frames_still_to_let_pass, frame]
         self._held: list[list] = []
         self._forced_drops = set(channel.drop_sequences)
+        self._forced_parity_drops = set(channel.drop_parity_epochs)
 
     # -- writer interface ------------------------------------------------
     def write(self, data: bytes) -> None:
@@ -389,6 +861,8 @@ class LossyLink:
             del self._buffer[:end]
             if length >= 1 and frame[_FRAME_PREFIX] == int(FrameKind.PACKET):
                 self._impair(frame)
+            elif length >= 1 and frame[_FRAME_PREFIX] == int(FrameKind.PARITY):
+                self._impair_parity(frame)
             else:
                 # control frame: preserve order relative to the data
                 # frames it followed, then pass through untouched
@@ -413,6 +887,7 @@ class LossyLink:
         if forced or self._rng.random() < self.channel.loss:
             self.stats.frames_dropped += 1
             self.stats.dropped_sequences.append(sequence)
+            self.stats.fate_log.append("dropped")
             self.meter.inc("link_frames", fate="dropped")
             self._tick_held()
             return
@@ -420,7 +895,10 @@ class LossyLink:
             frame = self._flip_one_bit(frame)
             self.stats.frames_corrupted += 1
             self.stats.corrupted_sequences.append(sequence)
+            self.stats.fate_log.append("corrupted")
             self.meter.inc("link_frames", fate="corrupted")
+        else:
+            self.stats.fate_log.append("delivered")
         if self.channel.duplicate and self._rng.random() < self.channel.duplicate:
             self.stats.frames_duplicated += 1
             self.meter.inc("link_frames", fate="duplicated")
@@ -430,6 +908,24 @@ class LossyLink:
             self.stats.frames_reordered += 1
             self.meter.inc("link_frames", fate="reordered")
             self._held.append([delay, frame])
+            return
+        self._deliver(frame)
+
+    def _impair_parity(self, frame: bytes) -> None:
+        """PARITY frames roll only the loss dice (plus forced drops):
+        the redundancy itself rides the same radio, but corrupting or
+        reordering it would test the parity *parser*, not recovery."""
+        self.stats.parity_seen += 1
+        self.meter.inc("link_frames", fate="parity_seen")
+        body = frame[_FRAME_PREFIX + 1 :]
+        base = int.from_bytes(body[0:2], "big") if len(body) >= 2 else -1
+        forced = base in self._forced_parity_drops
+        if forced:
+            self._forced_parity_drops.discard(base)
+        if forced or self._rng.random() < self.channel.loss:
+            self.stats.parity_dropped += 1
+            self.meter.inc("link_frames", fate="parity_dropped")
+            self._tick_held()
             return
         self._deliver(frame)
 
@@ -448,9 +944,17 @@ class LossyLink:
         """Put one frame on the wire and record its delivery.  Does
         NOT age the hold queue — released held frames must not re-age
         their peers."""
-        self.stats.frames_delivered += 1
-        self.stats.delivered.append(frame[_FRAME_PREFIX + 1 :])
-        self.meter.inc("link_frames", fate="delivered")
+        kind = frame[_FRAME_PREFIX]
+        body = frame[_FRAME_PREFIX + 1 :]
+        self.stats.delivered_frames.append((kind, body))
+        if kind == int(FrameKind.PACKET):
+            # the bytes-only view stays PACKET-only so existing
+            # (fec-off) replays keep consuming it unchanged
+            self.stats.frames_delivered += 1
+            self.stats.delivered.append(body)
+            self.meter.inc("link_frames", fate="delivered")
+        else:
+            self.meter.inc("link_frames", fate="parity_delivered")
         self._writer.write(frame)
 
     def _deliver(self, frame: bytes) -> None:
@@ -478,11 +982,13 @@ class LossyLink:
 
 __all__ = [
     "FrameVerdict",
+    "HOLD_CAP_EPOCHS",
     "LinkStats",
     "LossAccounting",
     "LossyChannel",
     "LossyLink",
     "SequenceTracker",
+    "StreamRecovery",
     "admit_packet",
     "replay_survivors",
     "sequence_delta",

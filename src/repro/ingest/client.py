@@ -15,13 +15,14 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
+from ..coding.fec import encode_parity_body
 from ..core.batch import encode_record_windows
-from ..core.packets import EncodedPacket
+from ..core.packets import EncodedPacket, PacketKind
 from ..core.system import EcgMonitorSystem
 from ..ecg.records import Record
 from ..errors import ProtocolError
 from ..telemetry import NULL_METER, MetricsRegistry
-from .channel import LossyChannel, LossyLink
+from .channel import HOLD_CAP_EPOCHS, LossyChannel, LossyLink
 from .protocol import (
     FrameKind,
     Handshake,
@@ -56,6 +57,25 @@ class NodeReport:
     windows_resynced: int = 0
     frames_corrupt: int = 0
     frames_duplicate: int = 0
+    windows_recovered: int = 0
+    #: wire bytes of first-transmission PACKET frames (prefix + kind +
+    #: body) — the fec-off baseline cost of the stream
+    packet_bytes: int = 0
+    #: wire bytes of PARITY frames (tier-1 redundancy overhead)
+    parity_bytes: int = 0
+    #: wire bytes of NACK-answering retransmissions (tier-2 overhead)
+    retransmit_bytes: int = 0
+    #: PACKET frames retransmitted in answer to NACKs
+    retransmits_sent: int = 0
+    #: NACKed sequences the retransmit ring no longer held
+    retransmit_misses: int = 0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Recovery bytes as a fraction of the baseline packet bytes."""
+        if not self.packet_bytes:
+            return 0.0
+        return (self.parity_bytes + self.retransmit_bytes) / self.packet_bytes
 
     @property
     def max_gateway_latency_ms(self) -> float | None:
@@ -92,6 +112,17 @@ class NodeClient:
         :class:`~repro.ingest.channel.LossyLink` of the most recent
         run is kept in :attr:`last_link` so callers can read the
         ground-truth fate of every frame.
+    fec:
+        Enable the two-tier recovery layer (protocol v2): emit one
+        XOR ``PARITY`` frame per keyframe epoch folded over the
+        epoch's *difference* packets (keyframes are excluded — they
+        are pinned in the retransmit ring for tier 2, and folding
+        one would pad the parity to keyframe width, tripling its
+        cost), keep a retransmit ring of recent packets with
+        keyframes pinned, and answer the gateway's ``NACK`` frames
+        with retransmissions — which also pass the lossy link, like
+        any real retransmission would.  Off (the default), the wire
+        bytes are identical to a v1 node.
     """
 
     def __init__(
@@ -103,6 +134,7 @@ class NodeClient:
         interval_s: float | None = 0.0,
         lossy_channel: LossyChannel | None = None,
         telemetry: MetricsRegistry | None = None,
+        fec: bool = False,
     ) -> None:
         self.system = system
         self.record = record
@@ -115,7 +147,15 @@ class NodeClient:
         #: optional telemetry registry: the node's lossy link mirrors
         #: its frame fates into it, labeled with the stream identity
         self.telemetry = telemetry
+        self.fec = bool(fec)
         self.last_link: LossyLink | None = None
+        #: retransmit ring: sequence -> (is_keyframe, on-air body).
+        #: Sized to the gateway's hold horizon so any sequence the
+        #: gateway can still want is normally present; keyframes are
+        #: pinned longer because losing one unanchors a whole epoch.
+        self._ring: dict[int, tuple[bool, bytes]] = {}
+        self._ring_cap = HOLD_CAP_EPOCHS * system.config.keyframe_interval
+        self._ring_keyframes = HOLD_CAP_EPOCHS
 
     def handshake(self) -> Handshake:
         """The HELLO this node sends (identity + codec config)."""
@@ -125,6 +165,7 @@ class NodeClient:
             config=self.system.config,
             codebook=self.system.encoder.codebook,
             precision=self.system.decoder.precision,
+            fec=self.fec,
         )
 
     async def run(self, reader, writer) -> NodeReport:
@@ -170,23 +211,61 @@ class NodeClient:
             report.stream_id = int(welcome["stream_id"])
 
         receiver = asyncio.create_task(
-            self._receive(reader, len(packets), report)
+            self._receive(reader, writer, len(packets), report)
         )
         try:
+            epoch_base: int | None = None
+            epoch_bodies: list[bytes] = []
+
+            def flush_parity() -> None:
+                """Emit the PARITY frame of the accumulated epoch.
+
+                The fold covers the epoch's difference packets only
+                (see the ``fec`` parameter note), and an epoch with
+                fewer than two of them gets none: parity over a
+                single body is a byte-for-byte duplicate (pure
+                duplication, tier 2's job via the retransmit ring
+                and the BYE-revealed tail gap)."""
+                if len(epoch_bodies) < 2 or epoch_base is None:
+                    return
+                frame = encode_frame(
+                    FrameKind.PARITY,
+                    encode_parity_body(epoch_base, epoch_bodies),
+                )
+                writer.write(frame)
+                report.parity_bytes += len(frame)
+
             for index, packet in enumerate(packets):
                 if self.interval_s and index:
                     await asyncio.sleep(self.interval_s)
-                writer.write(
-                    encode_frame(FrameKind.PACKET, packet.to_bytes())
-                )
+                is_keyframe = packet.kind is PacketKind.KEYFRAME
+                if self.fec and is_keyframe:
+                    # close the previous epoch before opening the next;
+                    # the fold starts at the first difference packet
+                    flush_parity()
+                    epoch_base = (packet.sequence + 1) % (1 << 16)
+                    epoch_bodies = []
+                body = packet.to_bytes()
+                frame = encode_frame(FrameKind.PACKET, body)
+                writer.write(frame)
+                report.packet_bytes += len(frame)
                 await writer.drain()
                 report.sent += 1
+                if self.fec:
+                    if epoch_base is not None and not is_keyframe:
+                        epoch_bodies.append(body)
+                    self._ring_add(packet.sequence, is_keyframe, body)
+            if self.fec:
+                flush_parity()  # a partial (>= 2 body) final epoch too
             # declare the sent-window count so the gateway can account
             # a trailing loss (no later packet would reveal that gap)
             writer.write(
                 encode_json_frame(FrameKind.BYE, {"windows": len(packets)})
             )
             await writer.drain()
+            # a v2 link stays open past BYE: the receiver keeps
+            # answering NACK retransmission requests until the gateway
+            # has recovered (or given up on) every window and closes
             await receiver
         finally:
             if not receiver.done():
@@ -195,13 +274,28 @@ class NodeClient:
             await writer.wait_closed()
         return report
 
+    def _ring_add(self, sequence: int, is_keyframe: bool, body: bytes) -> None:
+        """Retain a sent body for retransmission, bounded: difference
+        packets roll off after ``HOLD_CAP_EPOCHS`` epochs, keyframes
+        are pinned for the same number of *epochs* (far longer)."""
+        self._ring[sequence] = (is_keyframe, body)
+        diffs = [s for s, (key, _) in self._ring.items() if not key]
+        for stale in diffs[: max(0, len(diffs) - self._ring_cap)]:
+            del self._ring[stale]
+        keys = [s for s, (key, _) in self._ring.items() if key]
+        for stale in keys[: max(0, len(keys) - self._ring_keyframes)]:
+            del self._ring[stale]
+
     async def run_tcp(self, host: str, port: int) -> NodeReport:
         """Connect over TCP and stream (the CLI/simulation entry)."""
         reader, writer = await asyncio.open_connection(host, port)
         return await self.run(reader, writer)
 
-    async def _receive(self, reader, expected: int, report: NodeReport) -> None:
-        """Consume DECODED acks until all windows (or an error) arrive."""
+    async def _receive(
+        self, reader, writer, expected: int, report: NodeReport
+    ) -> None:
+        """Consume DECODED acks (and answer NACKs) until the stream is
+        fully acked or the gateway closes the link."""
         while report.acked < expected:
             frame = await read_frame(reader)
             if frame is None:
@@ -225,9 +319,29 @@ class NodeClient:
                 report.frames_duplicate = int(
                     payload.get("frames_duplicate", 0)
                 )
+                report.windows_recovered = int(
+                    payload.get("windows_recovered", 0)
+                )
+            elif kind is FrameKind.NACK:
+                self._retransmit(writer, decode_json_body(body), report)
+                await writer.drain()
             elif kind is FrameKind.ERROR:
                 report.error = decode_json_body(body).get("error", "unknown")
                 break
+
+    def _retransmit(self, writer, payload: dict, report: NodeReport) -> None:
+        """Answer one NACK from the retransmit ring.  Retransmissions
+        go through the same (possibly lossy) writer as first copies —
+        a retransmitted frame can be lost too."""
+        for sequence in payload.get("sequences", []):
+            held = self._ring.get(int(sequence))
+            if held is None:
+                report.retransmit_misses += 1
+                continue
+            frame = encode_frame(FrameKind.PACKET, held[1])
+            writer.write(frame)
+            report.retransmit_bytes += len(frame)
+            report.retransmits_sent += 1
 
 
 def encoded_packets(

@@ -47,6 +47,18 @@ re-anchors the cumulative chain — so one loss event damages at most
 in :class:`IngestStreamResult` / :class:`GatewayStats` rather than
 silently corrupting the reconstruction.
 
+Sessions that negotiate ``fec`` (protocol v2) run the two-tier
+:class:`~repro.ingest.channel.StreamRecovery` front-end instead of
+resyncing on the first gap: the epoch's ``PARITY`` frame reconstructs
+a single loss locally, and a ``NACK`` frame — sent over the existing
+ack channel, off the solve path — solicits retransmission of anything
+parity cannot cover.  The link stays open for a bounded deadline after
+``BYE`` so even a trailing loss can be retransmitted; only when the
+budget, the hold cap, or the deadline runs out does the held run drain
+through the plain keyframe-resync path above.  Recovered windows are
+accounted separately (``windows_recovered_parity`` /
+``windows_recovered_retransmit``), never double-counted as lost.
+
 The decoded output is bit-identical to the offline path: every flushed
 block runs the same batched solve the offline engine would run on the
 same columns, and ``benchmarks/bench_ingest_gateway.py`` replays the
@@ -80,9 +92,8 @@ from .adaptive import (
     AdaptiveConfig,
     FixedBatchController,
 )
-from .channel import FrameVerdict, SequenceTracker, admit_packet
+from .channel import FrameVerdict, SequenceTracker, StreamRecovery
 from .protocol import (
-    PROTOCOL_VERSION,
     FrameKind,
     Handshake,
     decode_json_body,
@@ -178,11 +189,24 @@ class IngestStreamResult:
     windows_resynced: int = 0
     frames_corrupt: int = 0
     frames_duplicate: int = 0
+    #: windows the two-tier recovery layer saved (and decoded): from a
+    #: local parity reconstruction / from a NACKed retransmission
+    windows_recovered_parity: int = 0
+    windows_recovered_retransmit: int = 0
+    #: retransmitted frames arriving only after recovery gave up
+    frames_late_retransmit: int = 0
+    #: NACK frames' worth of sequences requested from the node
+    nacks_sent: int = 0
 
     @property
     def num_windows(self) -> int:
-        """Windows decoded for this stream."""
+        """Windows decoded for this stream (recovered ones included)."""
         return len(self.sequences)
+
+    @property
+    def windows_recovered(self) -> int:
+        """Windows that would have been damaged but were recovered."""
+        return self.windows_recovered_parity + self.windows_recovered_retransmit
 
     @property
     def stream_key(self) -> str:
@@ -265,6 +289,11 @@ class GatewayStats:
     windows_resynced: int = 0
     frames_corrupt: int = 0
     frames_duplicate: int = 0
+    #: two-tier recovery outcomes across all sessions
+    windows_recovered_parity: int = 0
+    windows_recovered_retransmit: int = 0
+    frames_late_retransmit: int = 0
+    nacks_sent: int = 0
     #: ``None`` until the first window decodes — "no data yet" must
     #: not be reported as a perfect 0.0 latency
     max_latency_s: float | None = None
@@ -298,6 +327,9 @@ class _Session:
         self.stream_key = f"{handshake.record}:{handshake.channel}"
         self.meter = telemetry.meter(stream=self.stream_key)
         self.tracker = SequenceTracker(meter=self.meter)
+        #: the two-tier recovery front-end; wired by the gateway in
+        #: _register (it owns the NACK send path and the budget)
+        self.recovery: StreamRecovery | None = None
         self.windows_submitted = 0
         self.outstanding = 0
         self.closed = False
@@ -378,6 +410,16 @@ class IngestGateway:
     adaptive_config:
         Optional :class:`~repro.ingest.adaptive.AdaptiveConfig`
         (budget, thresholds, step sizes) for ``adaptive=True``.
+    nack_budget:
+        Per-stream tier-2 budget: at most this many sequences are ever
+        NACKed for retransmission on one session; a gap that would
+        exceed it falls back to keyframe resync immediately.
+    nack_deadline_ms:
+        How long the gateway keeps a link open after ``BYE`` waiting
+        for outstanding retransmissions before giving up.  The only
+        wall-clock escape of the recovery layer — it fires only when
+        an awaited retransmit never arrives, so live and offline
+        accounting still converge.
     """
 
     def __init__(
@@ -389,6 +431,8 @@ class IngestGateway:
         telemetry: MetricsRegistry | None = None,
         adaptive: bool = False,
         adaptive_config: AdaptiveConfig | None = None,
+        nack_budget: int = 8,
+        nack_deadline_ms: float = 1000.0,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(
@@ -404,6 +448,16 @@ class IngestGateway:
             raise ConfigurationError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if nack_budget < 0:
+            raise ConfigurationError(
+                f"nack_budget must be >= 0, got {nack_budget}"
+            )
+        if nack_deadline_ms <= 0:
+            raise ConfigurationError(
+                f"nack_deadline_ms must be positive, got {nack_deadline_ms}"
+            )
+        self.nack_budget = nack_budget
+        self.nack_deadline_s = nack_deadline_ms / 1000.0
         self.batch_size = batch_size
         self.flush_s = flush_ms / 1000.0
         self.workers = workers if workers else 1
@@ -479,6 +533,12 @@ class IngestGateway:
             windows_resynced=total("ingest_windows_resynced"),
             frames_corrupt=total("ingest_frames_corrupt"),
             frames_duplicate=total("ingest_frames_duplicate"),
+            windows_recovered_parity=total("ingest_windows_recovered_parity"),
+            windows_recovered_retransmit=total(
+                "ingest_windows_recovered_retransmit"
+            ),
+            frames_late_retransmit=total("ingest_frames_late_retransmit"),
+            nacks_sent=total("ingest_nacks_sent"),
             max_latency_s=(
                 latency.max if latency is not None and latency.total else None
             ),
@@ -524,6 +584,14 @@ class IngestGateway:
             previous.windows_resynced += result.windows_resynced
             previous.frames_corrupt += result.frames_corrupt
             previous.frames_duplicate += result.frames_duplicate
+            previous.windows_recovered_parity += (
+                result.windows_recovered_parity
+            )
+            previous.windows_recovered_retransmit += (
+                result.windows_recovered_retransmit
+            )
+            previous.frames_late_retransmit += result.frames_late_retransmit
+            previous.nacks_sent += result.nacks_sent
             previous.clean_close = result.clean_close
             if previous.error is None:
                 previous.error = result.error
@@ -614,7 +682,9 @@ class IngestGateway:
             self._send_json(
                 session,
                 FrameKind.WELCOME,
-                {"protocol": PROTOCOL_VERSION, "stream_id": session.id},
+                # echo the version the node actually speaks, so a v1
+                # node is never promised v2 frames
+                {"protocol": handshake.protocol, "stream_id": session.id},
             )
             await writer.drain()
             while True:
@@ -624,7 +694,10 @@ class IngestGateway:
                 kind, body = frame
                 if kind is FrameKind.PACKET:
                     await self._submit(session, body)
+                elif kind is FrameKind.PARITY:
+                    await self._submit(session, body, kind=kind)
                 elif kind is FrameKind.BYE:
+                    declared = None
                     if body:
                         # a BYE may declare how many windows were sent,
                         # so a trailing loss (no later packet to reveal
@@ -638,8 +711,14 @@ class IngestGateway:
                                     f"invalid BYE window count "
                                     f"{declared!r}"
                                 ) from exc
-                            session.tracker.close_stream(declared)
+                    events = session.recovery.bye(declared)
+                    await self._admit_events(session, events)
                     session.result.clean_close = True
+                    if session.recovery.holding:
+                        # a fec session may still be owed retransmits
+                        # (tail gap / outstanding NACKs): keep reading
+                        # for a bounded deadline before giving up
+                        await self._await_retransmits(session, reader)
                     break
                 else:
                     raise ProtocolError(
@@ -681,6 +760,19 @@ class IngestGateway:
         )
         self._next_session_id += 1
         self._sessions[session.id] = session
+        session.recovery = StreamRecovery(
+            session.tracker,
+            session.payload,
+            fec=handshake.fec,
+            nack_budget=self.nack_budget,
+            # NACKs ride the existing best-effort ack channel, sent
+            # from the read loop — never from the solve path
+            on_nack=lambda sequences, s=session: self._send_json(
+                s,
+                FrameKind.NACK,
+                {"sequences": [int(seq) for seq in sequences]},
+            ),
+        )
         session.meter.inc("ingest_sessions_opened")
         key = solve_key(handshake.config, handshake.precision)
         if key not in self._groups:
@@ -695,8 +787,14 @@ class IngestGateway:
         session.group = self._groups[key]
         return session
 
-    async def _submit(self, session: _Session, body: bytes) -> None:
-        """Admit one PACKET frame, run stages 1-2, pool the column.
+    async def _submit(
+        self,
+        session: _Session,
+        body: bytes,
+        kind: FrameKind = FrameKind.PACKET,
+    ) -> None:
+        """Admit one PACKET/PARITY frame through recovery and pool
+        whatever windows it releases.
 
         Awaiting the session quota *here* is the backpressure
         mechanism: while this stream has ``max_pending`` windows in
@@ -705,19 +803,51 @@ class IngestGateway:
         check, entropy decode — so a node flooding the link cannot
         spend gateway CPU beyond its backpressure bound; a cancelled
         wait (disconnect mid-backpressure) holds no permit and has
-        registered nothing, so nothing leaks.
+        registered nothing, so nothing leaks.  A recovery drain can
+        release several windows from one frame; each past the first
+        acquires its own permit, preserving the bound.
         """
         # latency is "frame arrival to reconstruction" (protocol.py):
         # stamp before stages 1-2 and before the quota wait, so a
         # window queued behind backpressure reports its true age
         arrived = asyncio.get_running_loop().time()
         await session.quota.acquire()
-        verdict, packet = admit_packet(session.tracker, session.payload, body)
-        if verdict is not FrameVerdict.ACCEPT:
-            # discarded frame (corrupt / duplicate / stale / resync
-            # skip): accounted in the session tracker, never pooled
+        if kind is FrameKind.PARITY:
+            events = session.recovery.on_parity(body)
+        else:
+            events = session.recovery.on_packet(body)
+        await self._admit_events(
+            session, events, arrived=arrived, permit_held=True
+        )
+
+    async def _admit_events(
+        self,
+        session: _Session,
+        events,
+        arrived: float | None = None,
+        permit_held: bool = False,
+    ) -> None:
+        """Pool every ACCEPTed window recovery released.  The caller's
+        already-held permit (if any) covers the first accept; further
+        accepts from the same drain each acquire their own."""
+        if arrived is None:
+            arrived = asyncio.get_running_loop().time()
+        for verdict, packet in events:
+            if verdict is not FrameVerdict.ACCEPT:
+                # discarded frame (corrupt / duplicate / stale / late
+                # retransmit / resync skip): accounted in the session
+                # tracker, never pooled
+                continue
+            if permit_held:
+                permit_held = False
+            else:
+                await session.quota.acquire()
+            self._pool_window(session, packet, arrived)
+        if permit_held:
             session.quota.release()
-            return
+
+    def _pool_window(self, session: _Session, packet, arrived: float) -> None:
+        """Stages 1-2 on one accepted packet, then pool its column."""
         y_q = session.payload.decode_payload(packet)
         column = session.payload.quantizer.dequantize(y_q).astype(
             session.dtype
@@ -739,8 +869,40 @@ class IngestGateway:
         )
         group.event.set()
 
+    async def _await_retransmits(self, session: _Session, reader) -> None:
+        """Post-BYE grace window: keep serving retransmissions (and a
+        late parity) until recovery is satisfied or the deadline runs
+        out.  Whatever is still missing afterwards is given up in
+        :meth:`_finalize` — the same :meth:`StreamRecovery.give_up`
+        path an offline replay takes at end of stream."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.nack_deadline_s
+        while session.recovery.holding:
+            timeout = deadline - loop.time()
+            if timeout <= 0:
+                return
+            try:
+                frame = await asyncio.wait_for(read_frame(reader), timeout)
+            except (asyncio.TimeoutError, ProtocolError):
+                return
+            if frame is None:
+                return  # node hung up: give up in _finalize
+            kind, body = frame
+            if kind in (FrameKind.PACKET, FrameKind.PARITY):
+                await self._submit(session, body, kind=kind)
+            # anything else post-BYE is noise; keep waiting
+
     async def _finalize(self, session: _Session) -> None:
         """Flush the stream's stragglers, then publish its result."""
+        # drain the recovery layer first: a gap still open at link end
+        # is given up, its held frames admitted through the plain
+        # resync path (idempotent; a no-op for fec-off sessions)
+        try:
+            await self._admit_events(session, session.recovery.close())
+        except (DecodingError, PacketFormatError) as exc:
+            if session.result.error is None:
+                session.result.error = str(exc)
+                session.meter.inc("ingest_sessions_errored")
         session.closed = True
         # wake the drain loop: this session's pending windows are now
         # orphans and must decode as a partial batch (other sessions'
@@ -760,6 +922,12 @@ class IngestGateway:
         result.windows_resynced = accounting.windows_resynced
         result.frames_corrupt = accounting.frames_corrupt
         result.frames_duplicate = accounting.frames_duplicate
+        result.windows_recovered_parity = accounting.windows_recovered_parity
+        result.windows_recovered_retransmit = (
+            accounting.windows_recovered_retransmit
+        )
+        result.frames_late_retransmit = accounting.frames_late_retransmit
+        result.nacks_sent = session.recovery.nacks_sent
         self.results.append(result)
         if session.result.error is None:
             session.meter.inc("ingest_sessions_completed")
@@ -990,6 +1158,7 @@ class IngestGateway:
                     "windows_resynced": accounting.windows_resynced,
                     "frames_corrupt": accounting.frames_corrupt,
                     "frames_duplicate": accounting.frames_duplicate,
+                    "windows_recovered": accounting.windows_recovered,
                 },
             )
             session.quota.release()

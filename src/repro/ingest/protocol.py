@@ -32,12 +32,23 @@ Node -> gateway frames
     (mod 2^16), so the gateway detects drops, reorders and duplicates
     from the sequence alone (see :mod:`repro.ingest.channel`); a
     corrupt-CRC frame is counted and discarded, not a link error.
+``PARITY``
+    Tier-1 recovery (protocol v2, nodes with ``fec`` enabled): one
+    XOR-parity frame per keyframe epoch, folded over the epoch's
+    packet bodies padded to the longest (see :mod:`repro.coding.fec`).
+    Sent after the epoch's last packet, before the next keyframe (and
+    once more before ``BYE`` for a partial final epoch), so the
+    gateway can reconstruct any single lost packet of the epoch
+    locally — zero round trips.
 ``BYE``
     Orderly end of stream: the gateway flushes the stream's pending
     windows, finishes decoding, and closes the link.  The body may be
     empty, or a JSON object ``{"windows": N}`` declaring how many
     windows the node sent — this lets the gateway account a *trailing*
-    loss, which no later packet would otherwise reveal.
+    loss, which no later packet would otherwise reveal.  A v2 node
+    keeps the link open after ``BYE`` and keeps answering ``NACK``
+    frames until the gateway closes, so even a trailing loss can be
+    retransmitted.
 
 Gateway -> node frames
 ======================
@@ -53,6 +64,13 @@ Gateway -> node frames
     ``frames_corrupt``, ``frames_duplicate``).  Lets a node (or the
     bench harness) observe end-to-end decode latency and channel
     damage without a side channel.
+``NACK``
+    Tier-2 recovery (protocol v2): JSON ``{"sequences": [...]}``
+    naming packet sequences the gateway still needs — sent over the
+    existing ack channel when a gap exceeds what parity can cover
+    (>= 2 losses in one epoch, or a lost packet whose parity is also
+    gone).  The node retransmits whichever of them its retransmit
+    ring still holds.  Never sent to a v1 node.
 ``ERROR``
     JSON ``{"error": reason}``; the gateway closes the link after
     sending it.
@@ -75,10 +93,16 @@ from ..coding import Codebook
 from ..config import SystemConfig
 from ..errors import CodebookError, ConfigurationError, ProtocolError
 
-#: Protocol revision spoken by this module.  A gateway refuses any
-#: other value in the handshake: codec semantics (packet format,
-#: codebook serialization, config fields) are pinned per revision.
-PROTOCOL_VERSION = 1
+#: Protocol revision spoken by this module.  v2 adds the two-tier
+#: recovery layer (``PARITY`` epochs + ``NACK`` retransmission); codec
+#: semantics (packet format, codebook serialization, config fields)
+#: are unchanged from v1, so a gateway gracefully downgrades a v1
+#: handshake to the plain keyframe-resync path instead of refusing it.
+PROTOCOL_VERSION = 2
+
+#: handshake versions the gateway accepts; anything else is refused
+#: with an ``ERROR`` frame (codec semantics are pinned per revision)
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on one frame's length prefix.  A 2-second window at the
 #: paper's operating point is ~1 kB on the wire and a handshake is a
@@ -95,9 +119,11 @@ class FrameKind(IntEnum):
     HELLO = 1
     PACKET = 2
     BYE = 3
+    PARITY = 4
     WELCOME = 10
     DECODED = 11
     ERROR = 12
+    NACK = 13
 
 
 def encode_frame(kind: FrameKind, body: bytes = b"") -> bytes:
@@ -188,6 +214,17 @@ class Handshake:
         lengths — the same kilobyte-scale table the mote's flash holds.
     precision:
         Decode precision the node requests (``"float64"``/``"float32"``).
+    fec:
+        Whether the node emits per-epoch ``PARITY`` frames and answers
+        ``NACK`` retransmission requests (protocol v2 only).  The
+        gateway engages its hold-and-recover admission path only for
+        sessions that declare this — a v1 (or fec-off v2) stream runs
+        the plain keyframe-resync path, bit-identically to before.
+    protocol:
+        The protocol revision this handshake speaks.  Defaults to the
+        current :data:`PROTOCOL_VERSION`; :meth:`from_body` preserves
+        the version a v1 node actually sent so the gateway knows not
+        to send it v2 frames.
     """
 
     record: str
@@ -195,11 +232,13 @@ class Handshake:
     config: SystemConfig
     codebook: Codebook | None = None
     precision: str = "float64"
+    fec: bool = False
+    protocol: int = PROTOCOL_VERSION
 
     def to_payload(self) -> dict[str, Any]:
         """Build the JSON-safe ``HELLO`` body (includes the version)."""
-        return {
-            "protocol": PROTOCOL_VERSION,
+        payload = {
+            "protocol": int(self.protocol),
             "record": self.record,
             "channel": int(self.channel),
             "config": dataclasses.asdict(self.config),
@@ -210,6 +249,9 @@ class Handshake:
             ),
             "precision": self.precision,
         }
+        if self.protocol >= 2:
+            payload["fec"] = bool(self.fec)
+        return payload
 
     def to_frame(self) -> bytes:
         """Serialize the complete ``HELLO`` frame."""
@@ -226,10 +268,11 @@ class Handshake:
         """
         payload = decode_json_body(body)
         version = payload.get("protocol")
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ProtocolError(
                 f"unsupported protocol version {version!r} "
-                f"(gateway speaks {PROTOCOL_VERSION})"
+                f"(gateway speaks {PROTOCOL_VERSION}, accepts "
+                f"{list(SUPPORTED_VERSIONS)})"
             )
         try:
             record = str(payload["record"])
@@ -251,10 +294,15 @@ class Handshake:
             raise ProtocolError(
                 f"invalid handshake precision {precision!r}"
             )
+        # graceful downgrade: a v1 node knows nothing of PARITY/NACK,
+        # so fec is forced off regardless of any stray field
+        fec = bool(payload.get("fec", False)) if version >= 2 else False
         return cls(
             record=record,
             channel=channel,
             config=config,
             codebook=codebook,
             precision=precision,
+            fec=fec,
+            protocol=int(version),
         )

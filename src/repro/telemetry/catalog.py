@@ -117,10 +117,36 @@ CATALOG: dict[str, MetricSpec] = {
             "ingest_frames_duplicate", COUNTER,
             "duplicate/stale frames dropped idempotently", "stream",
         ),
+        # -- two-tier recovery (FEC parity epochs + NACK retransmit) ---
+        _spec(
+            "ingest_windows_recovered_parity", COUNTER,
+            "windows reconstructed locally from an epoch PARITY frame",
+            "stream",
+        ),
+        _spec(
+            "ingest_windows_recovered_retransmit", COUNTER,
+            "windows filled by a NACKed (or late-reordered) copy while "
+            "recovery held the gap open", "stream",
+        ),
+        _spec(
+            "ingest_frames_late_retransmit", COUNTER,
+            "retransmitted frames arriving after recovery gave up on "
+            "their window (dropped, but not silently)", "stream",
+        ),
+        _spec(
+            "ingest_nacks_sent", COUNTER,
+            "sequences NACKed for retransmission (tier-2 budget spend)",
+            "stream",
+        ),
+        _spec(
+            "ingest_parity_frames", COUNTER,
+            "PARITY frames received by the recovery layer", "stream",
+        ),
         _spec(
             "link_frames", COUNTER,
             "simulated radio-link frame fates (seen/dropped/corrupted/"
-            "duplicated/reordered/delivered)", "fate", "stream",
+            "duplicated/reordered/delivered, plus parity_seen/"
+            "parity_dropped/parity_delivered)", "fate", "stream",
         ),
         # -- adaptive batch controller (repro.ingest.adaptive) ---------
         _spec(

@@ -1,0 +1,111 @@
+"""Unit tests of the XOR-parity math (repro.coding.fec).
+
+Pure byte-level properties only; the recovery *policy* built on top
+(hold, NACK, give-up) is exercised in ``tests/ingest/test_channel.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.fec import (
+    PARITY_HEADER_BYTES,
+    covered_sequences,
+    decode_parity_body,
+    encode_parity_body,
+    recover_body,
+    xor_fold,
+)
+from repro.core.packets import EncodedPacket, PacketKind
+from repro.errors import PacketFormatError
+
+
+def _wire(sequence: int, payload: bytes) -> bytes:
+    """One CRC-valid on-air packet body with an arbitrary payload."""
+    return EncodedPacket(
+        kind=PacketKind.KEYFRAME,
+        sequence=sequence,
+        m=4,
+        payload=payload,
+        payload_bits=8 * len(payload),
+    ).to_bytes()
+
+
+class TestXorFold:
+    def test_order_independent(self):
+        bodies = [b"\x01\x02\x03", b"\xff\x00", b"\x10\x20\x30\x40"]
+        assert xor_fold(bodies) == xor_fold(list(reversed(bodies)))
+
+    def test_fold_is_self_inverse(self):
+        a, b = b"\xaa\xbb\xcc", b"\x0f"
+        parity = xor_fold([a, b])
+        # folding the parity with one body yields the other, zero-padded
+        assert xor_fold([parity, a]) == b + b"\x00" * 2
+        assert xor_fold([parity, b]) == a
+
+    def test_zero_bodies_rejected(self):
+        with pytest.raises(PacketFormatError):
+            xor_fold([])
+
+
+class TestParityBody:
+    def test_roundtrip(self):
+        bodies = [b"\x01\x02", b"\x03\x04\x05"]
+        body = encode_parity_body(7, bodies)
+        base, count, parity = decode_parity_body(body)
+        assert (base, count) == (7, 2)
+        assert parity == xor_fold(bodies)
+        assert len(body) == PARITY_HEADER_BYTES + 3
+
+    def test_validation(self):
+        with pytest.raises(PacketFormatError):
+            encode_parity_body(1 << 16, [b"x"])
+        with pytest.raises(PacketFormatError):
+            encode_parity_body(0, [])
+        with pytest.raises(PacketFormatError):
+            decode_parity_body(b"\x00\x01")  # shorter than the header
+        with pytest.raises(PacketFormatError):
+            decode_parity_body(b"\x00\x01\x00\x00")  # zero count
+
+    def test_covered_sequences_wrap(self):
+        assert covered_sequences(65534, 4) == [65534, 65535, 0, 1]
+
+
+class TestRecoverBody:
+    def test_reconstructs_any_single_missing_body(self):
+        bodies = [
+            _wire(0, b"\x11\x22\x33\x44"),
+            _wire(1, b"\x55"),
+            _wire(2, b"\x66\x77\x88"),
+            _wire(3, b"\x99\xaa\xbb\xcc\xdd"),
+        ]
+        _, _, parity = decode_parity_body(encode_parity_body(0, bodies))
+        for lost in range(len(bodies)):
+            present = [b for i, b in enumerate(bodies) if i != lost]
+            recovered = recover_body(parity, present)
+            assert recovered == bodies[lost]
+            # and the CRC the receiver re-checks actually passes
+            assert EncodedPacket.from_bytes(recovered).sequence == lost
+
+    def test_two_missing_bodies_fail_crc(self):
+        """With two bodies missing the fold is garbage; the length trim
+        or the on-air CRC must refuse it — never a silent bad window."""
+        bodies = [_wire(s, bytes([s] * (3 + s))) for s in range(4)]
+        _, _, parity = decode_parity_body(encode_parity_body(0, bodies))
+        with pytest.raises(PacketFormatError):
+            candidate = recover_body(parity, bodies[:2])  # 2 and 3 lost
+            EncodedPacket.from_bytes(candidate)
+
+    def test_nonzero_padding_rejected(self):
+        """A recovered body must be zero beyond its declared length —
+        anything else proves the reconstruction inexact."""
+        short, long = _wire(0, b"\x01"), _wire(1, b"\x02\x03\x04\x05")
+        _, _, parity = decode_parity_body(encode_parity_body(0, [short, long]))
+        # corrupt the parity tail beyond the short body's extent
+        bad = parity[:-1] + bytes([parity[-1] ^ 0xFF])
+        with pytest.raises(PacketFormatError):
+            recover_body(bad, [long])
+
+    def test_too_short_remainder_rejected(self):
+        with pytest.raises(PacketFormatError):
+            recover_body(b"\x00\x01", [b"\x00"])

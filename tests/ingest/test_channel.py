@@ -8,18 +8,23 @@ composition through a live gateway is covered in ``test_gateway.py``.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
+from repro.coding.fec import encode_parity_body
 from repro.core.decoder import PacketPayloadDecoder
 from repro.core.packets import EncodedPacket, PacketKind
 from repro.errors import ConfigurationError, DecodingError, PacketFormatError
 from repro.ingest import (
+    HOLD_CAP_EPOCHS,
     FrameKind,
     FrameVerdict,
     LossyChannel,
     LossyLink,
     SequenceTracker,
+    StreamRecovery,
     admit_packet,
     encode_frame,
     encoded_packets,
@@ -55,6 +60,26 @@ def _packet_frames(system, record, count):
     return packets, [
         encode_frame(FrameKind.PACKET, p.to_bytes()) for p in packets
     ]
+
+
+def _parity_frame(epoch):
+    """The PARITY frame a fec-enabled node emits for one epoch."""
+    return encode_frame(
+        FrameKind.PARITY,
+        encode_parity_body(epoch[0].sequence, [p.to_bytes() for p in epoch]),
+    )
+
+
+def _frames_with_parity(packets, interval):
+    """The fec-enabled wire sequence: each epoch's packets + parity."""
+    frames = []
+    for start in range(0, len(packets), interval):
+        epoch = packets[start : start + interval]
+        frames.extend(
+            encode_frame(FrameKind.PACKET, p.to_bytes()) for p in epoch
+        )
+        frames.append(_parity_frame(epoch))
+    return frames
 
 
 @pytest.fixture(scope="module")
@@ -182,6 +207,295 @@ class TestAdmitPacket:
         assert verdict is FrameVerdict.RESYNC_SKIP
         assert tracker.accounting.windows_lost == 1  # the keyframe
         assert tracker.accounting.windows_resynced == 1
+
+
+class TestStreamRecovery:
+    """The two-tier (parity + NACK) recovery state machine, driven
+    frame by frame with deterministic losses."""
+
+    def _fresh(self, system, **kwargs):
+        payload = PacketPayloadDecoder(
+            system.config, codebook=system.encoder.codebook
+        )
+        tracker = SequenceTracker()
+        nacks: list[list[int]] = []
+        recovery = StreamRecovery(
+            tracker, payload, fec=True, on_nack=nacks.append, **kwargs
+        )
+        return tracker, payload, recovery, nacks
+
+    @staticmethod
+    def _pump(payload, events):
+        """Decode ACCEPTs exactly as the gateway would; log verdicts."""
+        log = []
+        for verdict, packet in events:
+            if verdict is FrameVerdict.ACCEPT:
+                payload.decode_payload(packet)
+            log.append(
+                (verdict, None if packet is None else packet.sequence)
+            )
+        return log
+
+    def test_fec_off_is_the_plain_admission_path(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 5)
+        payload = PacketPayloadDecoder(
+            system.config, codebook=system.encoder.codebook
+        )
+        tracker = SequenceTracker()
+        recovery = StreamRecovery(tracker, payload, fec=False)
+        for packet in packets:
+            events = recovery.on_packet(packet.to_bytes())
+            assert self._pump(payload, events) == [
+                (FrameVerdict.ACCEPT, packet.sequence)
+            ]
+        # parity is inert on a fec-off stream
+        assert recovery.on_parity(b"\x00\x00\x00\x01") == []
+        assert tracker.accounting.windows_damaged == 0
+        assert not recovery.holding
+
+    def test_parity_recovers_single_loss_without_nack(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 4)
+        _, payload, recovery, nacks = self._fresh(system)
+        log = []
+        for index in (0, 1, 3):  # sequence 2 lost on air
+            log += self._pump(
+                payload, recovery.on_packet(packets[index].to_bytes())
+            )
+        assert recovery.holding  # 3 held behind the open gap, uncharged
+        assert log == [
+            (FrameVerdict.ACCEPT, 0),
+            (FrameVerdict.ACCEPT, 1),
+        ]
+        log = self._pump(
+            payload,
+            recovery.on_parity(
+                encode_parity_body(0, [p.to_bytes() for p in packets])
+            ),
+        )
+        assert log == [
+            (FrameVerdict.ACCEPT, 2),
+            (FrameVerdict.ACCEPT, 3),
+        ]
+        accounting = recovery.tracker.accounting
+        assert accounting.windows_recovered_parity == 1
+        assert accounting.windows_lost == 0
+        assert nacks == []  # tier 1 needed zero round trips
+        assert not recovery.holding
+
+    def test_two_losses_in_one_epoch_nack_then_fill(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 4)
+        _, payload, recovery, nacks = self._fresh(system)
+        for index in (0, 3):  # sequences 1 and 2 lost
+            self._pump(payload, recovery.on_packet(packets[index].to_bytes()))
+        assert self._pump(
+            payload,
+            recovery.on_parity(
+                encode_parity_body(0, [p.to_bytes() for p in packets])
+            ),
+        ) == []
+        assert nacks == [[1, 2]]  # parity cannot cover a double loss
+        assert recovery.nacks_sent == 2
+        # the node's retransmissions fill the gap
+        assert self._pump(
+            payload, recovery.on_packet(packets[1].to_bytes())
+        ) == []
+        log = self._pump(payload, recovery.on_packet(packets[2].to_bytes()))
+        assert log == [
+            (FrameVerdict.ACCEPT, 1),
+            (FrameVerdict.ACCEPT, 2),
+            (FrameVerdict.ACCEPT, 3),
+        ]
+        accounting = recovery.tracker.accounting
+        assert accounting.windows_recovered_retransmit == 2
+        assert accounting.windows_recovered == 2
+        assert accounting.windows_lost == 0
+
+    def test_nack_budget_exhaustion_falls_back_to_resync(self, stream):
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 5)
+        _, payload, recovery, nacks = self._fresh(system, nack_budget=1)
+        for index in (0, 3):  # two losses, budget allows one NACK
+            self._pump(payload, recovery.on_packet(packets[index].to_bytes()))
+        log = self._pump(
+            payload,
+            recovery.on_parity(
+                encode_parity_body(0, [p.to_bytes() for p in packets[:4]])
+            ),
+        )
+        # blown budget: the held run drains through keyframe resync
+        assert log == [(FrameVerdict.RESYNC_SKIP, 3)]
+        assert nacks == []
+        accounting = recovery.tracker.accounting
+        assert accounting.windows_lost == 2
+        assert accounting.windows_resynced == 1
+        assert accounting.windows_recovered == 0
+        assert not recovery.holding
+        # the next keyframe re-arms the stream as in PR 4
+        log = self._pump(payload, recovery.on_packet(packets[4].to_bytes()))
+        assert log == [(FrameVerdict.ACCEPT, 4)]
+
+    def test_parity_reveals_and_recovers_tail_loss(self, stream):
+        """The epoch's last packet is lost with nothing after it to
+        expose the gap — the parity frame itself reveals it."""
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 4)
+        _, payload, recovery, nacks = self._fresh(system)
+        for index in (0, 1, 2):
+            self._pump(payload, recovery.on_packet(packets[index].to_bytes()))
+        assert not recovery.holding  # the gap is not even visible yet
+        log = self._pump(
+            payload,
+            recovery.on_parity(
+                encode_parity_body(0, [p.to_bytes() for p in packets])
+            ),
+        )
+        assert log == [(FrameVerdict.ACCEPT, 3)]
+        assert recovery.tracker.accounting.windows_recovered_parity == 1
+        assert nacks == []
+
+    def test_lost_parity_nacks_at_next_keyframe(self, stream):
+        """Packet 3 and its epoch's parity both lost: the next
+        keyframe's arrival is the frame-driven NACK trigger."""
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 5)
+        _, payload, recovery, nacks = self._fresh(system)
+        for index in (0, 1, 2):
+            self._pump(payload, recovery.on_packet(packets[index].to_bytes()))
+        assert self._pump(
+            payload, recovery.on_packet(packets[4].to_bytes())
+        ) == []
+        assert nacks == [[3]]
+        log = self._pump(payload, recovery.on_packet(packets[3].to_bytes()))
+        assert log == [
+            (FrameVerdict.ACCEPT, 3),
+            (FrameVerdict.ACCEPT, 4),
+        ]
+        accounting = recovery.tracker.accounting
+        assert accounting.windows_recovered_retransmit == 1
+        assert accounting.windows_lost == 0
+
+    def test_corrupt_frame_recovered_by_parity_not_resynced(self, stream):
+        """With fec on, a CRC-failed frame defers the resync: the gap
+        it leaves is recoverable, and here parity recovers it."""
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 4)
+        _, payload, recovery, _ = self._fresh(system)
+        self._pump(payload, recovery.on_packet(packets[0].to_bytes()))
+        wire = bytearray(packets[1].to_bytes())
+        wire[-1] ^= 0x01
+        assert self._pump(payload, recovery.on_packet(bytes(wire))) == [
+            (FrameVerdict.CORRUPT, None)
+        ]
+        for index in (2, 3):
+            self._pump(payload, recovery.on_packet(packets[index].to_bytes()))
+        log = self._pump(
+            payload,
+            recovery.on_parity(
+                encode_parity_body(0, [p.to_bytes() for p in packets])
+            ),
+        )
+        assert log == [
+            (FrameVerdict.ACCEPT, 1),
+            (FrameVerdict.ACCEPT, 2),
+            (FrameVerdict.ACCEPT, 3),
+        ]
+        accounting = recovery.tracker.accounting
+        assert accounting.frames_corrupt == 1
+        assert accounting.windows_recovered_parity == 1
+        assert accounting.windows_lost == 0
+
+    def test_hold_cap_overflow_gives_up(self, stream):
+        system, record = stream
+        total = HOLD_CAP_EPOCHS * system.config.keyframe_interval + 2
+        packets, _ = _packet_frames(system, record, total)
+        _, payload, recovery, nacks = self._fresh(system)
+        self._pump(payload, recovery.on_packet(packets[0].to_bytes()))
+        log = []
+        for packet in packets[2:]:  # sequence 1 lost, no parity arrives
+            log += self._pump(payload, recovery.on_packet(packet.to_bytes()))
+        assert not recovery.holding  # the cap overflowed and drained
+        assert nacks == [[1]]  # NACKed once at the first epoch boundary
+        accounting = recovery.tracker.accounting
+        accepted = sum(
+            1 for verdict, _ in log if verdict is FrameVerdict.ACCEPT
+        )
+        assert accounting.windows_lost == 1
+        assert (
+            accepted
+            + 1  # sequence 0, admitted before the gap
+            + accounting.windows_lost
+            + accounting.windows_resynced
+            == total
+        )
+
+    def test_wraparound_retransmit_fill_is_not_stale(self, stream):
+        """Satellite: a gap at 65534 filled after the counter wrapped
+        to 2 must classify as a retransmit fill, not a stale frame."""
+        system, record = stream
+        packets, _ = _packet_frames(system, record, 1)
+        keyframe = packets[0]
+
+        def at(sequence):
+            return replace(keyframe, sequence=sequence).to_bytes()
+
+        tracker, payload, recovery, nacks = self._fresh(system)
+        tracker.expected = 65533
+        log = self._pump(payload, recovery.on_packet(at(65533)))
+        assert log == [(FrameVerdict.ACCEPT, 65533)]
+        # 65534 lost; the stream wraps through 65535 -> 0 -> 1 -> 2
+        for sequence in (65535, 0, 1, 2):
+            assert self._pump(
+                payload, recovery.on_packet(at(sequence))
+            ) == []
+        assert nacks == [[65534]]
+        log = self._pump(payload, recovery.on_packet(at(65534)))
+        assert log == [
+            (FrameVerdict.ACCEPT, 65534),
+            (FrameVerdict.ACCEPT, 65535),
+            (FrameVerdict.ACCEPT, 0),
+            (FrameVerdict.ACCEPT, 1),
+            (FrameVerdict.ACCEPT, 2),
+        ]
+        accounting = tracker.accounting
+        assert accounting.windows_recovered_retransmit == 1
+        assert accounting.frames_duplicate == 0
+        assert accounting.windows_lost == 0
+        assert tracker.expected == 3
+
+    def test_late_retransmit_after_give_up(self, stream):
+        """Satellite regression: a retransmit arriving after recovery
+        resynced past its window is counted, not mistaken for a
+        duplicate — and conservation still holds."""
+        system, record = stream
+        packets, frames = _packet_frames(system, record, 5)
+        sink = _SinkWriter()
+        link = LossyChannel(drop_sequences=(1,), seed=0).wrap(sink)
+        for frame in frames:
+            link.write(frame)
+        _, payload, recovery, _ = self._fresh(system, nack_budget=0)
+        log = []
+        for _, body in link.stats.delivered_frames:
+            log += self._pump(payload, recovery.on_packet(body))
+        log += self._pump(payload, recovery.close())
+        assert not recovery.holding
+        # the dropped frame is redelivered long after the give-up
+        late = self._pump(payload, recovery.on_packet(packets[1].to_bytes()))
+        assert late == [(FrameVerdict.LATE_RETRANSMIT, 1)]
+        accounting = recovery.tracker.accounting
+        assert accounting.frames_late_retransmit == 1
+        assert accounting.frames_duplicate == 0
+        accepted = sum(
+            1 for verdict, _ in log if verdict is FrameVerdict.ACCEPT
+        )
+        assert (
+            accepted
+            + accounting.windows_lost
+            + accounting.windows_resynced
+            == len(packets)
+        )
 
 
 class TestLossyLink:
@@ -313,6 +627,52 @@ class TestLossyLink:
         with pytest.raises(ConfigurationError):
             LossyChannel(reorder_window=0)
 
+    def test_fate_log_collapses_runs_into_burst_events(self, stream):
+        """Satellite: adjacent losses are one burst event — the tight
+        damage bound charges resync skips per burst, not per loss."""
+        system, record = stream
+        _, frames = _packet_frames(system, record, 6)
+        sink = _SinkWriter()
+        link = LossyChannel(drop_sequences=(1, 2, 4), seed=0).wrap(sink)
+        for frame in frames:
+            link.write(frame)
+        assert link.stats.fate_log == [
+            "delivered",
+            "dropped",
+            "dropped",
+            "delivered",
+            "dropped",
+            "delivered",
+        ]
+        assert link.stats.loss_events == 3
+        assert link.stats.burst_events == 2  # {1,2} collapse to one
+
+    def test_parity_frames_impaired_separately(self, stream):
+        """PARITY frames ride the same link (loss + forced epoch drops)
+        but never perturb the PACKET fate stream or its dice."""
+        system, record = stream
+        interval = system.config.keyframe_interval
+        packets, _ = _packet_frames(system, record, 2 * interval)
+        sink = _SinkWriter()
+        link = LossyChannel(drop_parity_epochs=(interval,), seed=0).wrap(sink)
+        for frame in _frames_with_parity(packets, interval):
+            link.write(frame)
+        assert link.stats.parity_seen == 2
+        assert link.stats.parity_dropped == 1
+        # the classic bytes view stays PACKET-only ...
+        assert len(link.stats.delivered) == len(packets)
+        assert len(link.stats.fate_log) == len(packets)
+        # ... while delivered_frames carries the surviving parity
+        kinds = [kind for kind, _ in link.stats.delivered_frames]
+        assert kinds.count(int(FrameKind.PARITY)) == 1
+        assert kinds.count(int(FrameKind.PACKET)) == len(packets)
+        surviving = next(
+            body
+            for kind, body in link.stats.delivered_frames
+            if kind == int(FrameKind.PARITY)
+        )
+        assert int.from_bytes(surviving[0:2], "big") == 0  # epoch 0 kept
+
 
 class TestReplaySurvivors:
     def test_conservation_invariant_under_mixed_impairment(self, stream):
@@ -345,6 +705,75 @@ class TestReplaySurvivors:
                 + accounting.windows_resynced
                 == total
             ), f"seed {seed} violated conservation"
+
+    def test_fec_replay_conserves_and_never_does_worse(self, stream):
+        """With parity in the stream, every recovered window is
+        bit-identical to the clean decode, conservation stays exact,
+        and total damage never exceeds the fec-off replay's."""
+        system, record = stream
+        interval = system.config.keyframe_interval
+        total = 4 * interval
+        packets, _ = _packet_frames(system, record, total)
+        frames = _frames_with_parity(packets, interval)
+        payload = PacketPayloadDecoder(
+            system.config, codebook=system.encoder.codebook
+        )
+        reference = payload.measurement_block(packets, np.float64)
+        for seed in range(6):
+            sink = _SinkWriter()
+            link = LossyChannel(loss=0.15, seed=seed).wrap(sink)
+            for frame in frames:
+                link.write(frame)
+            link.write(encode_frame(FrameKind.BYE))
+            with_fec, acc_fec = replay_survivors(
+                system.config,
+                system.encoder.codebook,
+                link.stats.delivered_frames,
+                windows_sent=total,
+                fec=True,
+            )
+            without, acc_off = replay_survivors(
+                system.config,
+                system.encoder.codebook,
+                link.stats.delivered,
+                windows_sent=total,
+            )
+            assert (
+                len(with_fec)
+                + acc_fec.windows_lost
+                + acc_fec.windows_resynced
+                == total
+            ), f"seed {seed} violated conservation"
+            assert (
+                acc_fec.windows_lost + acc_fec.windows_resynced
+                <= acc_off.windows_lost + acc_off.windows_resynced
+            ), f"seed {seed}: fec did worse than no fec"
+            for sequence, column in with_fec:
+                np.testing.assert_array_equal(
+                    column, reference[:, sequence]
+                )
+
+    def test_clean_channel_fec_replay_is_loss_free(self, stream):
+        """A clean channel with parity in the stream: every window
+        accepted, zero recoveries, zero NACK spend."""
+        system, record = stream
+        interval = system.config.keyframe_interval
+        total = 2 * interval + 1  # a partial final epoch too
+        packets, _ = _packet_frames(system, record, total)
+        sink = _SinkWriter()
+        link = LossyChannel(seed=0).wrap(sink)
+        for frame in _frames_with_parity(packets, interval):
+            link.write(frame)
+        accepted, accounting = replay_survivors(
+            system.config,
+            system.encoder.codebook,
+            link.stats.delivered_frames,
+            windows_sent=total,
+            fec=True,
+        )
+        assert [seq for seq, _ in accepted] == list(range(total))
+        assert accounting.windows_damaged == 0
+        assert accounting.windows_recovered == 0
 
     def test_clean_channel_accepts_everything(self, stream):
         system, record = stream
