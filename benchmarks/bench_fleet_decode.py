@@ -20,6 +20,15 @@ Two tentpole claims over the PR-1 batched engine
    (process parallelism cannot beat 1x on a single core; the
    equivalence assertions run everywhere).
 
+A third claim rides along since the raw-speed solver pass: the
+**hybrid precision backend** (``precision="hybrid"``) decodes the same
+pooled fleet faster than float64 at equivalent PRD, and the per-worker
+solver cache (``_WORKER_RESOURCES``) hands repeated
+``solve_measurement_block`` tasks the *same* solver instance with its
+workspace arenas at a fixed point — steady-state fleet serving
+allocates no new scratch per task.  These land as the ``hybrid``
+section of ``BENCH_fleet_decode.json``.
+
 Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workload and relaxes
 the timing thresholds so ``scripts/run_tier1.sh`` exercises the full
 path — including a real 2-worker pool — in seconds.
@@ -27,9 +36,11 @@ path — including a real 2-worker pool — in seconds.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 
+import numpy as np
 import pytest
 
 from repro.config import SystemConfig
@@ -38,6 +49,7 @@ from repro.core.batch import stream_batched
 from repro.ecg import RECORD_NAMES, SyntheticMitBih
 from repro.experiments import render_table
 from repro.fleet import FleetDecoder, StreamTask, operator_key
+from repro.fleet.engine import _group_resources, solve_measurement_block
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
@@ -55,6 +67,13 @@ SHARD_STREAMS = 4 if SMOKE else 8
 SHARD_WORKERS = 2 if SMOKE else 4
 #: required sharded-over-pooled speedup, only meaningful with the CPUs
 MIN_SHARDED_SPEEDUP = 2.0
+#: required hybrid-over-float64 fleet speedup.  The fleet run carries
+#: the (shared) encode phase and scheduler overhead, so the end-to-end
+#: gain sits below the solver-level 2x lever; smoke's tiny solves are
+#: dominated by overhead and only must not regress.
+MIN_HYBRID_FLEET_SPEEDUP = 0.8 if SMOKE else 1.2
+#: hybrid PRD must sit within this many points of the float64 run
+HYBRID_PRD_GAP_BOUND = 0.5
 
 
 def _build_streams(count: int, windows: int, seed_of=lambda i: 0):
@@ -77,6 +96,30 @@ def _build_streams(count: int, windows: int, seed_of=lambda i: 0):
 
 
 @pytest.fixture(scope="module")
+def fleet_bench(bench_json):
+    """Accumulate the pooled and hybrid sections into one
+    BENCH_fleet_decode.json."""
+    payload: dict = {
+        "params": {
+            "streams": POOLED_STREAMS,
+            "windows_per_stream": WINDOWS_PER_STREAM,
+            "batch_size": BATCH_SIZE,
+            "min_hybrid_speedup": MIN_HYBRID_FLEET_SPEEDUP,
+            "hybrid_prd_gap_bound": HYBRID_PRD_GAP_BOUND,
+        },
+        "timings": {},
+        "hybrid": {},
+    }
+    yield payload
+    bench_json(
+        "fleet_decode",
+        params=payload["params"],
+        timings=payload["timings"],
+        hybrid=payload["hybrid"],
+    )
+
+
+@pytest.fixture(scope="module")
 def pooled_workload():
     systems, records = _build_streams(POOLED_STREAMS, WINDOWS_PER_STREAM)
     # warm the decode path once (operator caches, BLAS init) so neither
@@ -85,7 +128,7 @@ def pooled_workload():
     return systems, records
 
 
-def test_fleet_pooled_vs_per_stream(pooled_workload, benchmark, bench_json):
+def test_fleet_pooled_vs_per_stream(pooled_workload, benchmark, fleet_bench):
     """Cross-stream pooling >= 1.2x over per-stream batching, same B."""
     systems, records = pooled_workload
     keys = {operator_key(s.config) for s in systems}
@@ -154,20 +197,14 @@ def test_fleet_pooled_vs_per_stream(pooled_workload, benchmark, bench_json):
     ]
     print("\n" + render_table(rows, title="fleet pooled vs per-stream batched"))
     benchmark.extra_info["pooled_speedup"] = round(speedup, 2)
-    bench_json(
-        "fleet_decode",
-        params={
-            "streams": POOLED_STREAMS,
-            "windows_per_stream": WINDOWS_PER_STREAM,
-            "batch_size": BATCH_SIZE,
-            "operator_groups": len(keys),
-        },
-        timings={
+    fleet_bench["params"]["operator_groups"] = len(keys)
+    fleet_bench["timings"].update(
+        {
             "per_stream_s": per_stream_seconds,
             "pooled_s": pooled_seconds,
             "pooled_speedup": speedup,
             "pooled_windows_per_s": total / pooled_seconds,
-        },
+        }
     )
     assert speedup >= MIN_POOLED_SPEEDUP, (
         f"pooled fleet decode reached only {speedup:.2f}x over per-stream "
@@ -256,4 +293,110 @@ def test_fleet_sharded_scaling(bench_json):
         f"sharded fleet decode reached only {speedup:.2f}x over "
         f"single-process pooled (need >= {MIN_SHARDED_SPEEDUP}x "
         f"with {SHARD_WORKERS} workers)"
+    )
+
+
+def test_fleet_hybrid_backend(pooled_workload, fleet_bench):
+    """The hybrid backend through the whole fleet path: faster than
+    the float64 run at equivalent PRD, and the per-worker solver cache
+    keeps its workspace arenas at a fixed point across tasks."""
+    systems, records = pooled_workload
+
+    def run(precision):
+        fleet = []
+        for system, record in zip(systems, records):
+            node = EcgMonitorSystem(system.config, precision=precision)
+            node.encoder.codebook = system.encoder.codebook
+            node.decoder.codebook = system.encoder.codebook
+            fleet.append(StreamTask(node, record, max_packets=WINDOWS_PER_STREAM))
+        started = time.perf_counter()
+        results = FleetDecoder(batch_size=BATCH_SIZE).run(fleet)
+        return results, time.perf_counter() - started
+
+    pure, pure_seconds = run("float64")
+    hybrid, hybrid_seconds = run("hybrid")
+
+    # unchanged packet bytes, PRD inside the corridor of float64
+    prd_gap = 0.0
+    for pure_result, hybrid_result in zip(pure, hybrid):
+        assert [p.packet_bits for p in pure_result.packets] == [
+            p.packet_bits for p in hybrid_result.packets
+        ]
+        for pure_packet, hybrid_packet in zip(
+            pure_result.packets, hybrid_result.packets
+        ):
+            prd_gap = max(
+                prd_gap,
+                abs(pure_packet.prd_percent - hybrid_packet.prd_percent),
+            )
+    assert prd_gap < HYBRID_PRD_GAP_BOUND
+
+    # steady-state worker cache: the same config+precision key must
+    # hand back the same solver, and a further solve_measurement_block
+    # task must not grow its workspace arenas
+    config = systems[0].config
+    block_source = EcgMonitorSystem(config, precision="hybrid")
+    block_source.encoder.codebook = systems[0].encoder.codebook
+    block_source.decoder.codebook = systems[0].encoder.codebook
+    packets = []
+    samples = block_source._prepare_samples(records[0], 0)
+    for index in range(WINDOWS_PER_STREAM):
+        window = samples[index * config.n : (index + 1) * config.n]
+        packets.append(block_source.encoder.encode(window))
+    block = block_source.decoder.payload.measurement_block(
+        packets, np.float64
+    )
+    task = {
+        "config": dataclasses.asdict(config),
+        "precision": "hybrid",
+        "block": block,
+        "fractions": np.full(block.shape[1], config.lam, dtype=np.float64),
+        "batch_size": BATCH_SIZE,
+        "max_iterations": config.max_iterations,
+        "tolerance": config.tolerance,
+    }
+    first = solve_measurement_block(task)
+    solver, _transform = _group_resources(config, "hybrid")
+    arenas = {key: id(buf) for key, buf in solver.workspace._arenas.items()}
+    second = solve_measurement_block(task)
+    cached_solver, _transform = _group_resources(config, "hybrid")
+    worker_cache_reuse = cached_solver is solver and arenas == {
+        key: id(buf) for key, buf in solver.workspace._arenas.items()
+    }
+    assert worker_cache_reuse
+    np.testing.assert_array_equal(first["signals"], second["signals"])
+    polish = {
+        series["name"]: series["value"]
+        for series in second["telemetry"]["counters"]
+    }
+
+    total = sum(result.num_packets for result in hybrid)
+    speedup = pure_seconds / hybrid_seconds
+    rows = [
+        {
+            "backend": "float64",
+            "wall_s": pure_seconds,
+            "windows_per_s": total / pure_seconds,
+        },
+        {
+            "backend": "hybrid",
+            "wall_s": hybrid_seconds,
+            "windows_per_s": total / hybrid_seconds,
+        },
+    ]
+    print("\n" + render_table(rows, title="fleet decode backends"))
+    fleet_bench["hybrid"] = {
+        "float64_s": pure_seconds,
+        "hybrid_s": hybrid_seconds,
+        "speedup": speedup,
+        "windows_per_s": total / hybrid_seconds,
+        "prd_gap": prd_gap,
+        "polish_rate": polish["fleet_polish_windows"] / WINDOWS_PER_STREAM,
+        "hybrid_windows": polish["fleet_hybrid_windows"],
+        "worker_cache_reuse": bool(worker_cache_reuse),
+    }
+    fleet_bench["timings"]["hybrid_speedup"] = speedup
+    assert speedup >= MIN_HYBRID_FLEET_SPEEDUP, (
+        f"hybrid fleet decode reached only {speedup:.2f}x over float64 "
+        f"(need >= {MIN_HYBRID_FLEET_SPEEDUP}x)"
     )

@@ -79,6 +79,47 @@ for key in fec:
 print(f"fec scenario fields OK ({len(fec)} scenario(s))")
 EOF
 
+    # the raw-speed solver benches must report every lever: a lever
+    # line that silently stops running would pass the existence check
+    python - <<'EOF'
+import json, sys
+with open("benchmarks/results/BENCH_batched_decode.json") as fh:
+    payload = json.load(fh)
+levers = payload.get("levers", {})
+for section, fields in {
+    "baseline": ("seconds", "windows_per_s", "mean_prd"),
+    "sparse": ("speedup", "windows_per_s", "mean_prd"),
+    "hybrid": (
+        "speedup", "windows_per_s", "prd_gap",
+        "polish_rate", "corridor_pass",
+    ),
+    "workspace": ("steady_state", "arenas"),
+}.items():
+    if section not in levers:
+        sys.exit(f"ERROR: BENCH_batched_decode.json missing lever {section}")
+    missing = [f for f in fields if f not in levers[section]]
+    if missing:
+        sys.exit(f"ERROR: lever {section} missing fields: {missing}")
+if not levers["hybrid"]["corridor_pass"]:
+    sys.exit("ERROR: hybrid lever left the PRD corridor")
+if not levers["workspace"]["steady_state"]:
+    sys.exit("ERROR: workspace arenas did not reach steady state")
+
+with open("benchmarks/results/BENCH_fleet_decode.json") as fh:
+    payload = json.load(fh)
+hybrid = payload.get("hybrid", {})
+required = (
+    "speedup", "windows_per_s", "prd_gap",
+    "polish_rate", "worker_cache_reuse",
+)
+missing = [f for f in required if f not in hybrid]
+if missing:
+    sys.exit(f"ERROR: BENCH_fleet_decode.json hybrid missing: {missing}")
+if not hybrid["worker_cache_reuse"]:
+    sys.exit("ERROR: fleet worker solver cache was not reused")
+print("raw-speed lever fields OK (batched + fleet)")
+EOF
+
     echo "== example smokes =="
     python examples/quickstart.py > /dev/null
     python examples/live_gateway.py > /dev/null

@@ -55,6 +55,11 @@ CHANNEL_FLAGS = (
 #: README exactly like CHANNEL_FLAGS
 TELEMETRY_FLAGS = ("--adaptive", "--metrics-file", "--metrics-port")
 
+#: the decode-backend flags shared by ``fleet`` and ``serve``
+#: (``--simulate`` nodes request the backend in their handshake);
+#: drift-checked against README exactly like CHANNEL_FLAGS
+PRECISION_FLAGS = ("--precision",)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -130,6 +135,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "multiprocessing pool"
         ),
     )
+    fleet.add_argument(
+        "--precision",
+        choices=("float64", "float32", "hybrid"),
+        default="float64",
+        help=(
+            "decode backend: float64 (reference), float32, or hybrid — "
+            "float32 FISTA with a sparse scatter/gather residual gate "
+            "and per-column float64 polish when a window leaves the "
+            "fig-6 PRD corridor"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -194,6 +210,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--cr", type=float, default=50.0, help="nominal CR of simulated nodes"
+    )
+    serve.add_argument(
+        "--precision",
+        choices=("float64", "float32", "hybrid"),
+        default="float64",
+        help=(
+            "decode backend simulated nodes request in their handshake "
+            "(with --simulate): float64, float32, or the hybrid "
+            "float32-fast/float64-polish path"
+        ),
     )
     serve.add_argument(
         "--interval-ms",
@@ -404,7 +430,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     for index, name in enumerate(names):
         record = database.load(name)
         system = EcgMonitorSystem(
-            base.replace(seed=base.seed + index % args.groups)
+            base.replace(seed=base.seed + index % args.groups),
+            precision=args.precision,
         )
         system.calibrate(record)
         tasks.append(
@@ -583,7 +610,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             record = database.load(
                 list(RECORD_NAMES)[index % len(RECORD_NAMES)]
             )
-            system = EcgMonitorSystem(base)
+            system = EcgMonitorSystem(base, precision=args.precision)
             system.calibrate(record)
             lossy = None
             if channel_template.impairs:

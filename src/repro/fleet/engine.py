@@ -186,14 +186,18 @@ def _decode_group(
     dc_offsets: Sequence[int],
     max_iterations: int,
     tolerance: float,
-    dtype: type,
+    precision: str,
 ) -> list[_StreamDecode]:
     """Decode one operator group's pooled windows.
 
     Shared by the in-process path and the group-sharded workers;
     inputs are ordered like ``schedule.stream_ids`` (local group
-    order).
+    order).  The ``"hybrid"`` backend solves through the structured
+    pipeline (float32 fast path + sparse residual gate + float64
+    polish), which owns synthesis; the dense backends synthesize via
+    the batched inverse transform as before.
     """
+    dtype = np.float32 if precision == "float32" else np.float64
     pooled, fractions, payload_share = _pool_group_columns(
         payload_decoders, packet_lists, lam_fractions, schedule.counts, dtype
     )
@@ -204,14 +208,23 @@ def _decode_group(
     for start, stop in schedule.batches():
         batch_started = time.perf_counter()
         block = pooled[:, start:stop]
-        lams = solver.lambdas(block, fractions[start:stop])
-        result = solver.solve(
-            block,
-            lams,
-            max_iterations=max_iterations,
-            tolerance=tolerance,
-        )
-        signals = transform.inverse_batch(result.coefficients)
+        if precision == "hybrid":
+            result = solver.solve_structured(
+                block,
+                fractions[start:stop],
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+            )
+            signals = result.signals
+        else:
+            lams = solver.lambdas(block, fractions[start:stop])
+            result = solver.solve(
+                block,
+                lams,
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+            )
+            signals = transform.inverse_batch(result.coefficients)
         batch_share = (time.perf_counter() - batch_started) / (stop - start)
         _scatter_columns(
             outputs,
@@ -252,9 +265,20 @@ def _group_resources(
         config.m, config.n, d=config.d, seed=config.seed
     )
     transform = WaveletTransform(config.n, config.wavelet, config.levels)
-    dtype = np.float32 if precision == "float32" else np.float64
-    dense = (matrix.sparse() @ transform.synthesis_matrix()).astype(dtype)
-    resources = (BatchedFista(dense), transform)
+    if precision == "hybrid":
+        from ..solvers import StructuredOperator
+
+        structure = StructuredOperator(matrix, transform.synthesis_matrix())
+        solver = BatchedFista(
+            structure.dense64,
+            lipschitz=structure.lipschitz,
+            structure=structure,
+        )
+    else:
+        dtype = np.float32 if precision == "float32" else np.float64
+        dense = (matrix.sparse() @ transform.synthesis_matrix()).astype(dtype)
+        solver = BatchedFista(dense)
+    resources = (solver, transform)
     _WORKER_RESOURCES[key] = resources
     return resources
 
@@ -295,7 +319,6 @@ def _worker_decode_group(group_task: dict) -> dict:
 
     started = time.perf_counter()
     precision = group_task["precision"]
-    dtype = np.float32 if precision == "float32" else np.float64
     streams = group_task["streams"]
     configs = [SystemConfig(**s["config"]) for s in streams]
     solver, transform = _group_resources(configs[0], precision)
@@ -323,7 +346,7 @@ def _worker_decode_group(group_task: dict) -> dict:
         [s["dc_offset"] for s in streams],
         group_task["max_iterations"],
         group_task["tolerance"],
-        dtype,
+        precision,
     )
     registry = MetricsRegistry()
     return {
@@ -383,14 +406,30 @@ def solve_measurement_block(task: dict) -> dict:
     for start in range(0, total, batch_size):
         stop = min(start + batch_size, total)
         started = time.perf_counter()
-        lams = solver.lambdas(block[:, start:stop], fractions[start:stop])
-        result = solver.solve(
-            block[:, start:stop],
-            lams,
-            max_iterations=task["max_iterations"],
-            tolerance=task["tolerance"],
-        )
-        batch_signals = transform.inverse_batch(result.coefficients)
+        if task["precision"] == "hybrid":
+            result = solver.solve_structured(
+                block[:, start:stop],
+                fractions[start:stop],
+                max_iterations=task["max_iterations"],
+                tolerance=task["tolerance"],
+            )
+            batch_signals = result.signals
+            registry.inc("fleet_hybrid_windows", stop - start)
+            registry.inc(
+                "fleet_polish_windows",
+                int(np.count_nonzero(result.polished)),
+            )
+        else:
+            lams = solver.lambdas(
+                block[:, start:stop], fractions[start:stop]
+            )
+            result = solver.solve(
+                block[:, start:stop],
+                lams,
+                max_iterations=task["max_iterations"],
+                tolerance=task["tolerance"],
+            )
+            batch_signals = transform.inverse_batch(result.coefficients)
         elapsed = time.perf_counter() - started
         share = elapsed / (stop - start)
         signals[:, start:stop] = np.asarray(batch_signals, dtype=np.float64)
@@ -623,15 +662,8 @@ class FleetDecoder:
         for schedule in schedules:
             members = [encoded[s] for s in schedule.stream_ids]
             lead = members[0].task.system.decoder
-            if lead._batched_solver is None:
-                lead._batched_solver = BatchedFista(
-                    lead.system_matrix, lipschitz=lead.lipschitz
-                )
-            dtype = (
-                np.float32 if members[0].precision == "float32" else np.float64
-            )
             outputs = _decode_group(
-                lead._batched_solver,
+                lead.batched_solver(),
                 lead.transform,
                 schedule,
                 [m.task.system.decoder.payload for m in members],
@@ -640,7 +672,7 @@ class FleetDecoder:
                 [m.dc_offset for m in members],
                 members[0].config.max_iterations,
                 members[0].config.tolerance,
-                dtype,
+                members[0].precision,
             )
             for stream_id, out in zip(schedule.stream_ids, outputs):
                 decodes[stream_id] = out

@@ -290,7 +290,7 @@ class Handshake:
                     f"invalid handshake codebook: {exc}"
                 ) from exc
         precision = payload.get("precision", "float64")
-        if precision not in ("float64", "float32"):
+        if precision not in ("float64", "float32", "hybrid"):
             raise ProtocolError(
                 f"invalid handshake precision {precision!r}"
             )

@@ -30,12 +30,16 @@ from .lipschitz import power_iteration_norm, lipschitz_constant
 from .ista import ista
 from .fista import fista, lambda_from_fraction
 from .batched import (
+    DEFAULT_POLISH_CORRIDOR,
     BatchedFista,
     BatchedSolverResult,
     BatchWorkspace,
+    HybridSolveResult,
     batched_fista,
     batched_lambda_from_fraction,
+    structured_batched_fista,
 )
+from .sparse_apply import SparsePhiApply, StructuredOperator
 from .twist import twist
 from .omp import omp
 from .gpsr import gpsr
@@ -44,11 +48,16 @@ from .debias import debias
 
 __all__ = [
     "debias",
+    "DEFAULT_POLISH_CORRIDOR",
     "BatchedFista",
     "BatchedSolverResult",
     "BatchWorkspace",
+    "HybridSolveResult",
+    "SparsePhiApply",
+    "StructuredOperator",
     "batched_fista",
     "batched_lambda_from_fraction",
+    "structured_batched_fista",
     "SolverResult",
     "as_operator",
     "soft_threshold",

@@ -27,6 +27,7 @@ previous batch's solutions when streaming chunk by chunk.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass, field
 
@@ -97,34 +98,67 @@ def batched_lambda_from_fraction(
 
 
 class BatchWorkspace:
-    """Reusable iteration buffers for same-shape batched solves.
+    """Reusable per-(kind, dtype) arenas for batched solves.
 
     A fleet scheduler feeds a :class:`BatchedFista` a long sequence of
-    equally wide measurement blocks; reallocating the four per-iteration
-    scratch arrays for every block is measurable overhead at small
-    operator sizes.  The workspace hands out the same buffers while the
-    ``(m, n, width, dtype)`` signature is unchanged and reallocates when
-    it changes (mid-solve compactions keep their smaller local arrays).
+    measurement blocks; reallocating the per-iteration scratch arrays
+    for every block is measurable overhead at small operator sizes.
+    The workspace keeps one flat grow-only arena per ``(kind, dtype)``
+    pair and hands out contiguous reshaped views into it:
+
+    - a repeated request with the same shape and dtype returns the
+      *same* view objects (steady-state serve allocates nothing);
+    - a narrower request reuses the arena through a smaller view;
+    - a different **dtype** gets its own arena — the hybrid-precision
+      path alternates float32 iterate batches with float64 polish
+      re-solves on one workspace, and each precision must keep its own
+      correctly-typed buffers rather than thrash a single slot (or,
+      worse, hand a stale-dtype buffer to the solver).
+
+    Arenas are plain scratch: every kernel fully overwrites its buffer
+    before reading it, so views may alias across requests of the same
+    kind.  Buffers handed out here must never escape a solve — results
+    returned to callers are always freshly allocated.
     """
 
     def __init__(self) -> None:
-        self._signature: tuple[int, int, int, np.dtype] | None = None
-        self._buffers: tuple[np.ndarray, ...] | None = None
+        #: flat backing store per (kind, dtype); grows, never shrinks
+        self._arenas: dict[tuple[str, np.dtype], np.ndarray] = {}
+        #: cached reshaped views keyed by ((kind, dtype), shape) so a
+        #: repeated same-signature request returns identical objects
+        self._views: dict[tuple, np.ndarray] = {}
+
+    def arena(
+        self, kind: str, shape: tuple[int, ...], dtype: np.dtype | type
+    ) -> np.ndarray:
+        """A contiguous ``shape`` view into the ``(kind, dtype)`` arena."""
+        key = (kind, np.dtype(dtype))
+        size = 1
+        for extent in shape:
+            size *= int(extent)
+        flat = self._arenas.get(key)
+        if flat is None or flat.size < size:
+            flat = np.empty(max(size, 1), dtype=dtype)
+            self._arenas[key] = flat
+            for stale in [k for k in self._views if k[0] == key]:
+                del self._views[stale]
+        view_key = (key, tuple(shape))
+        view = self._views.get(view_key)
+        if view is None:
+            view = flat[:size].reshape(shape)
+            self._views[view_key] = view
+        return view
 
     def buffers(
         self, m: int, n: int, width: int, dtype: np.dtype
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(resid (m,B), u (n,B), alpha (n,B), diff (n,B))``."""
-        signature = (m, n, width, np.dtype(dtype))
-        if self._signature != signature or self._buffers is None:
-            self._buffers = (
-                np.empty((m, width), dtype=dtype),
-                np.empty((n, width), dtype=dtype),
-                np.empty((n, width), dtype=dtype),
-                np.empty((n, width), dtype=dtype),
-            )
-            self._signature = signature
-        return self._buffers  # type: ignore[return-value]
+        return (
+            self.arena("resid", (m, width), dtype),
+            self.arena("u", (n, width), dtype),
+            self.arena("alpha", (n, width), dtype),
+            self.arena("diff", (n, width), dtype),
+        )
 
 
 @dataclass
@@ -366,6 +400,227 @@ def batched_fista(
     )
 
 
+#: default hybrid-precision polish gate: a column whose relative
+#: residual ``||y - Phi s|| / ||y||`` exceeds this after the float32
+#: solve is re-solved in float64.  Calibrated against the fig-6
+#: corridor: on the paper-point workload the float32 and float64
+#: relative residuals agree to < 0.03% and sit around 0.01-0.02, an
+#: order of magnitude below the gate — it fires only when reduced
+#: precision actually broke a column (underflow, overflow, NaN), not
+#: on ordinary hard windows both precisions struggle with equally.
+DEFAULT_POLISH_CORRIDOR = 0.2
+
+
+@dataclass
+class HybridSolveResult:
+    """Outcome of one structured (hybrid-precision) batched solve.
+
+    Attributes
+    ----------
+    signals:
+        ``(n_samples, B)`` float64 synthesized time-domain block (no dc
+        offset) — the structured path owns synthesis, so callers never
+        re-run the inverse transform.
+    coefficients:
+        ``(n, B)`` float64 wavelet coefficients (polished columns hold
+        their float64 re-solve).
+    iterations:
+        ``(B,)`` total iterations per column: the fast-path count plus,
+        for polished columns, the float64 re-solve's count.
+    converged, residual_norms, total_iterations, stop_reasons:
+        As in :class:`BatchedSolverResult`; ``residual_norms`` is the
+        sparse-gate norm ``||Phi s_b - y_b||_2``.
+    rel_residuals:
+        ``(B,)`` the gate statistic ``||Phi s_b - y_b|| / ||y_b||``.
+    polished:
+        ``(B,)`` bool — which columns left the corridor after the fast
+        solve and fell back to the float64 polish.
+    """
+
+    signals: np.ndarray
+    coefficients: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    residual_norms: np.ndarray
+    rel_residuals: np.ndarray
+    polished: np.ndarray
+    total_iterations: int
+    stop_reasons: list[str] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of columns solved."""
+        return int(self.coefficients.shape[1])
+
+    def per_column(self, column: int) -> SolverResult:
+        """Adapt one column to the serial :class:`SolverResult` shape."""
+        if not 0 <= column < self.batch_size:
+            raise IndexError(
+                f"column {column} out of range for batch {self.batch_size}"
+            )
+        return SolverResult(
+            coefficients=self.coefficients[:, column].copy(),
+            iterations=int(self.iterations[column]),
+            converged=bool(self.converged[column]),
+            stop_reason=self.stop_reasons[column],
+            residual_norm=float(self.residual_norms[column]),
+        )
+
+
+def structured_batched_fista(
+    structure,
+    ys: np.ndarray,
+    fractions: np.ndarray | float,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-4,
+    iterate_dtype: np.dtype | type = np.float32,
+    polish_corridor: float = DEFAULT_POLISH_CORRIDOR,
+    workspace: BatchWorkspace | None = None,
+) -> HybridSolveResult:
+    """Solve a measurement block against a factored ``A = Phi Psi``.
+
+    The structured pipeline, per batch:
+
+    1. per-column lambdas from one float64 correlation GEMM (identical
+       weights to the pure-float64 path, so the two backends optimize
+       the same objective);
+    2. the FISTA iteration in ``iterate_dtype`` — float32 is the fast
+       path (the GEMM pair moves half the bytes), float64 is the
+       structured reference used by the per-lever benches;
+    3. synthesis as a dense ``Psi`` GEMM in the iterate precision (the
+       ``Psi``-side ops stay dense — an orthonormal basis has no index
+       structure to gather);
+    4. the **sparse residual gate**: ``||y - Phi s||`` per column via
+       the scatter/gather kernels of
+       :class:`~repro.solvers.sparse_apply.SparsePhiApply` (``n*d``
+       adds instead of an ``m*n`` GEMM — this is where the sparse
+       binary structure pays on the hot path);
+    5. columns whose relative residual leaves ``polish_corridor`` (or
+       is non-finite) are re-solved in float64, warm-started from
+       their float32 coefficients (non-finite warm starts reset to
+       zero), then re-synthesized and re-gated.
+
+    ``structure`` is a
+    :class:`~repro.solvers.sparse_apply.StructuredOperator`.  All
+    scratch comes from ``workspace`` arenas (both dtypes coexist);
+    every array in the returned :class:`HybridSolveResult` is freshly
+    allocated and safe to hold across subsequent solves.
+    """
+    iterate_dtype = np.dtype(iterate_dtype)
+    if iterate_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise SolverError(
+            f"iterate_dtype must be float32 or float64, got {iterate_dtype}"
+        )
+    if polish_corridor <= 0:
+        raise SolverError(
+            f"polish_corridor must be positive, got {polish_corridor}"
+        )
+    ys64 = np.asarray(
+        check_measurement_matrix(structure.dense64, ys), dtype=np.float64
+    )
+    if workspace is None:
+        workspace = BatchWorkspace()
+    m, batch = ys64.shape
+    samples = structure.n_samples
+
+    lams = batched_lambda_from_fraction(structure.dense64, ys64, fractions)
+
+    # the float32 leg may legitimately overflow to inf/NaN on a column
+    # single precision cannot represent — that is exactly what the
+    # residual gate below exists to catch, so numpy's overflow/invalid
+    # warnings are noise here (the float64 leg keeps them)
+    fast_errstate = (
+        np.errstate(over="ignore", invalid="ignore")
+        if iterate_dtype == np.float32
+        else contextlib.nullcontext()
+    )
+    with fast_errstate:
+        if iterate_dtype == np.float32:
+            ys_fast = workspace.arena("ys32", (m, batch), np.float32)
+            np.copyto(ys_fast, ys64)
+        else:
+            ys_fast = ys64
+        fast = batched_fista(
+            structure.operator(iterate_dtype),
+            ys_fast,
+            lams,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            lipschitz=structure.lipschitz,
+            operator_t=structure.operator_t(iterate_dtype),
+            workspace=workspace,
+        )
+
+        coefficients = np.asarray(fast.coefficients, dtype=np.float64)
+        if iterate_dtype == np.float32:
+            synth = workspace.arena("synth32", (samples, batch), np.float32)
+            np.matmul(structure.psi32, fast.coefficients, out=synth)
+            signals = synth.astype(np.float64)
+        else:
+            signals = structure.psi64 @ coefficients
+
+    gate_gather = workspace.arena(
+        "phi_gather", (structure.phi.nnz, batch), np.float64
+    )
+    gate_resid = workspace.arena("phi_resid", (m, batch), np.float64)
+    structure.phi.residual(signals, ys64, out=gate_resid, gather=gate_gather)
+    residual_norms = np.sqrt(np.einsum("ij,ij->j", gate_resid, gate_resid))
+    y_floor = np.maximum(
+        np.sqrt(np.einsum("ij,ij->j", ys64, ys64)),
+        np.finfo(np.float64).tiny,
+    )
+    rel_residuals = residual_norms / y_floor
+    # NaN/inf-safe: only a finite residual inside the corridor passes
+    within = np.isfinite(rel_residuals) & (rel_residuals <= polish_corridor)
+
+    iterations = fast.iterations.copy()
+    converged = fast.converged.copy()
+    polished = np.zeros(batch, dtype=bool)
+    total_iterations = fast.total_iterations
+
+    if iterate_dtype == np.float32 and not within.all():
+        bad = np.flatnonzero(~within)
+        ys_bad = np.ascontiguousarray(ys64[:, bad])
+        x0 = coefficients[:, bad]  # fancy indexing: already a copy
+        x0[~np.isfinite(x0)] = 0.0
+        polish = batched_fista(
+            structure.dense64,
+            ys_bad,
+            lams[bad],
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            lipschitz=structure.lipschitz,
+            x0=x0,
+            operator_t=structure.dense64_t,
+            workspace=workspace,
+        )
+        coefficients[:, bad] = polish.coefficients
+        fixed = structure.psi64 @ polish.coefficients
+        signals[:, bad] = fixed
+        fixed_resid = structure.phi.residual(fixed, ys_bad)
+        residual_norms[bad] = np.linalg.norm(fixed_resid, axis=0)
+        rel_residuals[bad] = residual_norms[bad] / y_floor[bad]
+        iterations[bad] += polish.iterations
+        converged[bad] = polish.converged
+        polished[bad] = True
+        total_iterations += polish.total_iterations
+
+    stop_reasons = [
+        "tolerance" if flag else "max_iterations" for flag in converged
+    ]
+    return HybridSolveResult(
+        signals=signals,
+        coefficients=coefficients,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=residual_norms,
+        rel_residuals=rel_residuals,
+        polished=polished,
+        total_iterations=total_iterations,
+        stop_reasons=stop_reasons,
+    )
+
+
 class BatchedFista:
     """A reusable batched solver bound to one system operator.
 
@@ -387,10 +642,13 @@ class BatchedFista:
         self,
         a: LinearOperator | np.ndarray,
         lipschitz: float | None = None,
+        structure=None,
     ) -> None:
         self._dense = _as_dense(a)
         self._dense_t = np.ascontiguousarray(self._dense.T)
         self._workspace = BatchWorkspace()
+        #: optional StructuredOperator enabling :meth:`solve_structured`
+        self._structure = structure
         self._lipschitz = (
             lipschitz
             if lipschitz is not None
@@ -411,9 +669,51 @@ class BatchedFista:
         """Shared Lipschitz constant of the data-fidelity gradient."""
         return self._lipschitz
 
+    @property
+    def structure(self):
+        """The bound factored operator (``None`` on plain instances)."""
+        return self._structure
+
+    @property
+    def workspace(self) -> BatchWorkspace:
+        """The instance's arena workspace (benches inspect its reuse)."""
+        return self._workspace
+
     def lambdas(self, ys: np.ndarray, fraction: float) -> np.ndarray:
         """Per-column weights for a measurement block (one GEMM)."""
         return batched_lambda_from_fraction(self._dense, ys, fraction)
+
+    def solve_structured(
+        self,
+        ys: np.ndarray,
+        fractions: np.ndarray | float,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-4,
+        iterate_dtype: np.dtype | type = np.float32,
+        polish_corridor: float = DEFAULT_POLISH_CORRIDOR,
+    ) -> HybridSolveResult:
+        """Run the hybrid-precision structured pipeline on one block.
+
+        Requires a :class:`~repro.solvers.sparse_apply.StructuredOperator`
+        bound at construction; shares this instance's workspace arenas,
+        so alternating float32 fast solves and float64 polish re-solves
+        reuse their respective per-dtype buffers across batches.
+        """
+        if self._structure is None:
+            raise SolverError(
+                "solve_structured requires a StructuredOperator; "
+                "construct BatchedFista(..., structure=...)"
+            )
+        return structured_batched_fista(
+            self._structure,
+            ys,
+            fractions,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            iterate_dtype=iterate_dtype,
+            polish_corridor=polish_corridor,
+            workspace=self._workspace,
+        )
 
     def solve(
         self,

@@ -207,6 +207,15 @@ CATALOG: dict[str, MetricSpec] = {
             "fleet_solve_width", HISTOGRAM,
             "columns per batched solve inside a shard",
         ),
+        _spec(
+            "fleet_hybrid_windows", COUNTER,
+            "windows solved on the hybrid float32 fast path",
+        ),
+        _spec(
+            "fleet_polish_windows", COUNTER,
+            "hybrid windows re-solved in float64 after leaving the "
+            "residual corridor",
+        ),
         # -- realtime pipeline simulator (repro.realtime) --------------
         _spec(
             "realtime_jobs", COUNTER,
