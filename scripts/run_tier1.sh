@@ -13,8 +13,11 @@
 # that silently stops reporting fails the gate.  repro-lint
 # (python -m repro.analysis) statically enforces the stack's invariants
 # — event-loop blocking, lock discipline, hot-loop allocations, the
-# telemetry catalog, exception hygiene and README/CLI drift — and runs
-# in BOTH modes; its JSON findings report lands in benchmarks/results/.
+# telemetry catalog, exception hygiene, README/CLI drift, and the
+# dataflow tier (precision flow, await atomicity, process-boundary
+# payloads, FrameKind dispatch) — and runs in BOTH modes; its JSON
+# findings report lands in benchmarks/results/, and the checked-in
+# baseline is gated empty so nothing gets silently grandfathered.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +27,21 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro-lint: static invariant checks =="
 mkdir -p benchmarks/results
 python -m repro.analysis --root . --report benchmarks/results/LINT_report.json
+
+# the checked-in baseline must stay empty: new findings are fixed or
+# carry an inline justification, never silently grandfathered
+python - <<'EOF'
+import json, sys
+with open(".repro-lint-baseline.json") as fh:
+    data = json.load(fh)
+if data.get("entries"):
+    sys.exit(
+        "ERROR: .repro-lint-baseline.json must stay empty "
+        f"({len(data['entries'])} grandfathered entr(y/ies) found); "
+        "fix the findings or justify them inline"
+    )
+print("baseline empty OK")
+EOF
 
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

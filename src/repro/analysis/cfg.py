@@ -1,0 +1,391 @@
+"""Intra-procedural control-flow graphs for the dataflow tier.
+
+The AST-level rules (RL001–RL006) see syntax; the dataflow rules
+(RL007–RL010) need *order*: which definitions can reach a use, what a
+value's kind is after a branch join, whether a loop back-edge carries a
+promoted dtype around again.  This module builds a small per-function
+CFG — just enough graph for a forward worklist analysis — with nothing
+but :mod:`ast` (the package's zero-dependency guarantee).
+
+Shape of the graph
+------------------
+- a :class:`Block` holds statements in execution order; a compound
+  statement (``if``/``while``/``for``/``with``/``try``/``match``)
+  appears *shallowly* in the block where its header executes — its
+  body statements live in successor blocks, so a transfer function
+  must apply only a statement's header-level effects (use
+  :func:`header_exprs` and :func:`bound_names`);
+- ``if`` produces a branch and a join block; loops produce a header
+  block with a back-edge from the body end; ``break``/``continue``/
+  ``return``/``raise`` terminate their block (``return``/``raise``
+  edge to the exit block);
+- ``try`` is approximated conservatively: each handler is reachable
+  both from the block *before* the ``try`` (an exception before any
+  body statement completed) and from the body's end (one after all
+  did).  Partial mid-body states are not modeled — a known,
+  documented limit of the tier.
+
+Nested ``def``/``lambda``/``class`` bodies are not entered: a nested
+function is its own execution context (build a separate CFG for it).
+
+:func:`reaching_definitions` runs the classic forward may-analysis
+over the graph; the dataflow kind lattice (:mod:`.dataflow`) runs its
+own worklist over the same blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """One straight-line run of (shallow) statements."""
+
+    id: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def add_succ(self, other: "Block") -> None:
+        if other.id not in self.succs:
+            self.succs.append(other.id)
+            other.preds.append(self.id)
+
+
+class CFG:
+    """The per-function graph: blocks, one entry, one exit."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self._counter = 0
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        block = Block(self._counter)
+        self.blocks[block.id] = block
+        self._counter += 1
+        return block
+
+    def rpo(self) -> list[Block]:
+        """Blocks in reverse post-order from the entry (a good worklist
+        seed for forward analyses); unreachable blocks follow in id
+        order so dead code is still transferred over once."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(bid: int) -> None:
+            # iterative DFS: recursion depth would track nesting depth
+            stack = [(bid, iter(self.blocks[bid].succs))]
+            seen.add(bid)
+            while stack:
+                current, succs = stack[-1]
+                advanced = False
+                for nxt in succs:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, iter(self.blocks[nxt].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry.id)
+        ordered = [self.blocks[bid] for bid in reversed(order)]
+        ordered.extend(
+            block
+            for bid, block in sorted(self.blocks.items())
+            if bid not in seen
+        )
+        return ordered
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (loop-header block, loop-after block) stack for break/continue
+        self.loops: list[tuple[Block, Block]] = []
+
+    # ------------------------------------------------------------------
+    def build(self, body: list[ast.stmt]) -> CFG:
+        end = self.visit_body(body, self.cfg.entry)
+        if end is not None:
+            end.add_succ(self.cfg.exit)
+        return self.cfg
+
+    def visit_body(
+        self, body: list[ast.stmt], current: Block | None
+    ) -> Block | None:
+        """Thread ``body`` through the graph starting at ``current``.
+
+        Returns the block where control continues afterwards, or
+        ``None`` when every path terminated (return/raise/break).
+        """
+        for stmt in body:
+            if current is None:
+                # statements after a terminator: keep them in the graph
+                # (an unreachable block) so analyses still see them
+                current = self.cfg.new_block()
+            current = self._visit_stmt(stmt, current)
+        return current
+
+    # ------------------------------------------------------------------
+    def _visit_stmt(self, stmt: ast.stmt, current: Block) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._visit_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.stmts.append(stmt)  # header: items bind their vars
+            return self.visit_body(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._visit_match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.stmts.append(stmt)
+            current.add_succ(self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.stmts.append(stmt)
+            if self.loops:
+                current.add_succ(self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.stmts.append(stmt)
+            if self.loops:
+                current.add_succ(self.loops[-1][0])
+            return None
+        # simple statements and nested def/class (name-binding only;
+        # their bodies are separate execution contexts)
+        current.stmts.append(stmt)
+        return current
+
+    def _visit_if(self, stmt: ast.If, current: Block) -> Block | None:
+        current.stmts.append(stmt)  # the test evaluates here
+        join = self.cfg.new_block()
+        then_entry = self.cfg.new_block()
+        current.add_succ(then_entry)
+        then_end = self.visit_body(stmt.body, then_entry)
+        if then_end is not None:
+            then_end.add_succ(join)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            current.add_succ(else_entry)
+            else_end = self.visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_succ(join)
+        else:
+            current.add_succ(join)  # test false: fall through
+        return join if join.preds else None
+
+    def _visit_loop(self, stmt, current: Block) -> Block:
+        header = self.cfg.new_block()
+        # the header re-executes per iteration: a while test, or a
+        # for-target rebind (the iterable itself is evaluated once,
+        # but keeping it in the header only widens, never narrows)
+        header.stmts.append(stmt)
+        current.add_succ(header)
+        after = self.cfg.new_block()
+        body_entry = self.cfg.new_block()
+        header.add_succ(body_entry)
+        self.loops.append((header, after))
+        body_end = self.visit_body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_end is not None:
+            body_end.add_succ(header)  # the back-edge
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            header.add_succ(else_entry)
+            else_end = self.visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_succ(after)
+        else:
+            header.add_succ(after)
+        return after
+
+    def _visit_try(self, stmt: ast.Try, current: Block) -> Block | None:
+        body_entry = self.cfg.new_block()
+        current.add_succ(body_entry)
+        body_end = self.visit_body(stmt.body, body_entry)
+        if body_end is not None and stmt.orelse:
+            body_end = self.visit_body(stmt.orelse, body_end)
+        join = self.cfg.new_block()
+        if body_end is not None:
+            body_end.add_succ(join)
+        for handler in stmt.handlers:
+            handler_entry = self.cfg.new_block()
+            handler_entry.stmts.append(handler)  # binds `as name`
+            # conservatively reachable with the pre-try state and with
+            # the post-body state (mid-body states are not modeled)
+            current.add_succ(handler_entry)
+            if body_end is not None:
+                body_end.add_succ(handler_entry)
+            handler_end = self.visit_body(handler.body, handler_entry)
+            if handler_end is not None:
+                handler_end.add_succ(join)
+        if stmt.finalbody:
+            final_entry = self.cfg.new_block()
+            if join.preds:
+                join.add_succ(final_entry)
+            else:
+                current.add_succ(final_entry)  # every path raised
+            return self.visit_body(stmt.finalbody, final_entry)
+        return join if join.preds else None
+
+    def _visit_match(self, stmt: ast.Match, current: Block) -> Block | None:
+        current.stmts.append(stmt)  # the subject evaluates here
+        join = self.cfg.new_block()
+        has_wildcard = False
+        for case in stmt.cases:
+            case_entry = self.cfg.new_block()
+            current.add_succ(case_entry)
+            case_end = self.visit_body(case.body, case_entry)
+            if case_end is not None:
+                case_end.add_succ(join)
+            if _is_wildcard(case):
+                has_wildcard = True
+        if not has_wildcard:
+            current.add_succ(join)  # no case matched
+        return join if join.preds else None
+
+
+def _is_wildcard(case: ast.match_case) -> bool:
+    return (
+        isinstance(case.pattern, ast.MatchAs)
+        and case.pattern.pattern is None
+        and case.guard is None
+    )
+
+
+def build_cfg(func) -> CFG:
+    """The CFG of one function's body (``ast.FunctionDef`` /
+    ``ast.AsyncFunctionDef``, or any object with a ``body`` list)."""
+    return _Builder().build(func.body)
+
+
+# ----------------------------------------------------------------------
+# shallow statement views
+# ----------------------------------------------------------------------
+
+
+def header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a statement evaluates *at its own block* (its
+    header), excluding body statements that live in other blocks."""
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, (ast.Expr, ast.Assert, ast.Delete)):
+        if isinstance(stmt, ast.Expr):
+            return [stmt.value]
+        if isinstance(stmt, ast.Assert):
+            return [stmt.test]
+        return list(stmt.targets)
+    return []
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def bound_names(stmt: ast.stmt) -> list[str]:
+    """The local names a statement (shallowly) binds."""
+    if isinstance(stmt, ast.Assign):
+        names: list[str] = []
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+        return names
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        names = []
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+        return names
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.name] if stmt.name else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return [stmt.name]
+    if isinstance(stmt, ast.ClassDef):
+        return [stmt.name]
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        return [
+            (alias.asname or alias.name).split(".")[0]
+            for alias in stmt.names
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# reaching definitions
+# ----------------------------------------------------------------------
+
+
+def reaching_definitions(cfg: CFG) -> dict[int, set[tuple[str, int]]]:
+    """Forward may-analysis: which ``(name, lineno)`` definitions can
+    reach each block's entry.  The classic worklist over gen/kill."""
+    gen: dict[int, dict[str, int]] = {}
+    for block in cfg.blocks.values():
+        local: dict[str, int] = {}
+        for stmt in block.stmts:
+            for name in bound_names(stmt):
+                local[name] = stmt.lineno
+        gen[block.id] = local
+
+    in_sets: dict[int, set[tuple[str, int]]] = {
+        bid: set() for bid in cfg.blocks
+    }
+    out_sets: dict[int, set[tuple[str, int]]] = {
+        bid: set() for bid in cfg.blocks
+    }
+    worklist = [block.id for block in cfg.rpo()]
+    while worklist:
+        bid = worklist.pop(0)
+        block = cfg.blocks[bid]
+        new_in: set[tuple[str, int]] = set()
+        for pred in block.preds:
+            new_in |= out_sets[pred]
+        killed = set(gen[bid])
+        new_out = {
+            (name, line) for name, line in new_in if name not in killed
+        } | {(name, line) for name, line in gen[bid].items()}
+        changed = new_out != out_sets[bid]
+        in_sets[bid] = new_in
+        out_sets[bid] = new_out
+        if changed:
+            for succ in block.succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_sets

@@ -1,0 +1,685 @@
+"""Forward value-kind lattice over the per-function CFG.
+
+Every expression in an analyzed function gets a *kind* — a coarse
+abstraction of what the value is at the process/precision boundaries
+the dataflow rules guard:
+
+- ``f32-array`` / ``f64-array``: a numpy array of known float dtype
+  (also numpy scalar casts ``np.float32(x)``/``np.float64(x)``, which
+  promote exactly like same-dtype arrays);
+- ``py-scalar``: Python ints/floats/bools — *weak* in numpy promotion,
+  so safe inside a float32 region;
+- ``ndarray-unknown``: definitely an array, dtype untracked;
+- ``operator``: a solver/operator object (``StructuredOperator``,
+  ``BatchedFista``, ...) — never allowed across a process boundary;
+- ``seed/config``: rebuild-from-seed material (``SystemConfig``
+  dataclass dicts, codebooks, seeds) — the *allowed* boundary payload;
+- ``other``: everything else (strings, bytes, locals we cannot type).
+
+Containers (dict/list/tuple displays) are *tainted* by their worst
+element: a dict holding an ``f64-array`` value is itself an
+``f64-array`` payload for boundary purposes — how RL009 sees an
+ndarray smuggled inside a task dict.
+
+The analysis is a forward worklist to fixpoint over
+:class:`~repro.analysis.cfg.CFG` blocks (assignments, ``astype``/
+allocator ``dtype=`` arguments, attribute loads, same-module annotated
+call returns), then one recording pass that annotates every expression
+node with its kind.  Known limits, by design (documented in
+docs/architecture.md §8): intra-procedural only — unannotated calls
+and foreign attributes fall to ``other`` (silence, not noise); a name
+bound on only one branch keeps its bound kind at the join.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .cfg import CFG, bound_names, build_cfg, header_exprs
+from .core import dotted_name
+
+# -- the public lattice -------------------------------------------------
+F32 = "f32-array"
+F64 = "f64-array"
+SCALAR = "py-scalar"
+NDARRAY = "ndarray-unknown"
+OPERATOR = "operator"
+CONFIG = "seed/config"
+OTHER = "other"
+
+#: internal kinds for *dtype values* flowing through variables
+#: (``dtype = np.float32 if ... else np.float64``); reported as OTHER
+DTYPE32 = "dtype-f32"
+DTYPE64 = "dtype-f64"
+
+ARRAY_KINDS = frozenset({F32, F64, NDARRAY})
+#: kinds RL009 refuses at a process boundary
+BOUNDARY_VIOLATIONS = frozenset({F32, F64, NDARRAY, OPERATOR})
+BOUNDARY_KINDS = BOUNDARY_VIOLATIONS
+
+_NUMPY_ROOTS = frozenset({"np", "numpy"})
+#: allocators that default to float64 when no ``dtype=`` is given
+ALLOC_DEFAULT_F64 = frozenset({"zeros", "empty", "ones", "full"})
+#: allocators that inherit dtype from their first argument
+ALLOC_LIKE = frozenset(
+    {"zeros_like", "empty_like", "ones_like", "full_like"}
+)
+#: converters/combiners that preserve their (first) argument's dtype
+PRESERVE = frozenset(
+    {
+        "asarray",
+        "ascontiguousarray",
+        "asfortranarray",
+        "array",
+        "copy",
+        "abs",
+        "absolute",
+        "negative",
+        "square",
+        "sign",
+        "take",
+    }
+)
+#: binary ufuncs whose result promotes across operands
+UFUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "true_divide",
+        "maximum",
+        "minimum",
+        "power",
+        "hypot",
+        "fmod",
+        "where",
+    }
+)
+#: combiners over a sequence first argument
+COMBINE = frozenset(
+    {"stack", "concatenate", "vstack", "hstack", "column_stack", "tile"}
+)
+#: constructors whose instances must never be pickled to a worker
+OPERATOR_FACTORIES = frozenset(
+    {
+        "StructuredOperator",
+        "SparsePhiApply",
+        "BatchedFista",
+        "BatchWorkspace",
+        "SparseBinaryMatrix",
+        "WaveletTransform",
+    }
+)
+#: name fragments that mark rebuild-from-seed material
+_CONFIG_FRAGMENTS = ("config", "seed", "codebook")
+
+
+def join(a: str, b: str) -> str:
+    """Lattice merge at a CFG join: equal kinds survive, arrays of
+    conflicting dtype widen to ``ndarray-unknown``, and a *dangerous*
+    kind (array/operator/config) survives a merge with ``other`` — a
+    value that may be an ndarray on one path must still be treated as
+    one at a process boundary (may-analysis).  Everything else falls
+    to ``other``."""
+    if a == b:
+        return a
+    if a in ARRAY_KINDS and b in ARRAY_KINDS:
+        return NDARRAY
+    survivors = BOUNDARY_VIOLATIONS | {CONFIG}
+    if a == OTHER and b in survivors:
+        return b
+    if b == OTHER and a in survivors:
+        return a
+    return OTHER
+
+
+def promote(a: str, b: str) -> str:
+    """Numpy binary-op result kind for two operand kinds."""
+    if OPERATOR in (a, b):
+        return OTHER
+    if F64 in (a, b) and a in ARRAY_KINDS and b in ARRAY_KINDS:
+        return F64
+    if F64 in (a, b) and SCALAR in (a, b):
+        return F64
+    if F32 in (a, b) and b in (F32, SCALAR) and a in (F32, SCALAR):
+        return F32
+    if a in ARRAY_KINDS and b in (SCALAR, *ARRAY_KINDS):
+        return NDARRAY if NDARRAY in (a, b) else a
+    if b in ARRAY_KINDS:
+        return NDARRAY if NDARRAY in (a, b) else b
+    if a == b == SCALAR:
+        return SCALAR
+    return OTHER
+
+
+def _join_env(left: dict[str, str], right: dict[str, str]) -> dict[str, str]:
+    merged = dict(left)
+    for name, kind in right.items():
+        if name in merged:
+            merged[name] = join(merged[name], kind)
+        else:
+            merged[name] = kind  # bound on one branch only: keep it
+    return merged
+
+
+def annotation_kind(annotation: ast.expr | None) -> str | tuple:
+    """Map a return/parameter annotation to a kind (or a
+    ``("tuple", [kinds])`` shape for tuple annotations)."""
+    if annotation is None:
+        return OTHER
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return OTHER
+    name = dotted_name(annotation)
+    if name is not None:
+        tail = name.split(".")[-1]
+        if tail == "ndarray":
+            return NDARRAY
+        if tail in ("float", "int", "bool"):
+            return SCALAR
+        if tail in OPERATOR_FACTORIES:
+            return OPERATOR
+        if any(frag in tail.lower() for frag in _CONFIG_FRAGMENTS):
+            return CONFIG
+        return OTHER
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        tail = (base or "").split(".")[-1].lower()
+        if tail == "tuple" and isinstance(annotation.slice, ast.Tuple):
+            return (
+                "tuple",
+                [annotation_kind(e) for e in annotation.slice.elts],
+            )
+        if tail in ("list", "sequence", "iterable", "optional"):
+            inner = annotation.slice
+            if not isinstance(inner, ast.Tuple):
+                return annotation_kind(inner)
+    if isinstance(annotation, ast.BinOp) and isinstance(
+        annotation.op, ast.BitOr
+    ):
+        # X | None style optionals: the interesting side wins
+        left = annotation_kind(annotation.left)
+        right = annotation_kind(annotation.right)
+        return left if left != OTHER else right
+    return OTHER
+
+
+def module_return_kinds(tree: ast.Module) -> dict[str, object]:
+    """Same-module annotated function returns — the one inter-
+    procedural assist the tier allows itself."""
+    returns: dict[str, object] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            kind = annotation_kind(node.returns)
+            if kind != OTHER:
+                returns[node.name] = kind
+    return returns
+
+
+class KindAnalysis:
+    """Run the kind lattice over one function to fixpoint.
+
+    After :meth:`run`, :meth:`kind_of` answers for any expression node
+    in the function body (by node identity)."""
+
+    def __init__(
+        self,
+        func,
+        module_returns: dict[str, object] | None = None,
+    ) -> None:
+        self.func = func
+        self.cfg: CFG = build_cfg(func)
+        self.module_returns = module_returns or {}
+        self.kinds: dict[int, object] = {}
+        self._seed = self._seed_env()
+
+    # ------------------------------------------------------------------
+    def _seed_env(self) -> dict[str, object]:
+        env: dict[str, object] = {}
+        args = getattr(self.func, "args", None)
+        if args is None:
+            return env
+        every = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+        for arg in every:
+            kind = annotation_kind(arg.annotation)
+            if kind == OTHER and any(
+                frag in arg.arg.lower() for frag in _CONFIG_FRAGMENTS
+            ):
+                kind = CONFIG
+            env[arg.arg] = kind
+        return env
+
+    def run(self) -> "KindAnalysis":
+        in_envs: dict[int, dict[str, object]] = {
+            self.cfg.entry.id: dict(self._seed)
+        }
+        order = self.cfg.rpo()
+        # worklist to fixpoint (joins stabilize: the lattice is finite
+        # and join is monotone towards NDARRAY/OTHER)
+        pending = [block.id for block in order]
+        out_envs: dict[int, dict[str, object]] = {}
+        while pending:
+            bid = pending.pop(0)
+            block = self.cfg.blocks[bid]
+            env: dict[str, object] = {}
+            if bid == self.cfg.entry.id:
+                env = dict(self._seed)
+            for pred in block.preds:
+                if pred in out_envs:
+                    env = _join_env(env, out_envs[pred])
+            in_envs[bid] = dict(env)
+            for stmt in block.stmts:
+                self._transfer(stmt, env, record=False)
+            if out_envs.get(bid) != env:
+                out_envs[bid] = env
+                for succ in block.succs:
+                    if succ not in pending:
+                        pending.append(succ)
+        # recording pass: annotate every expression with its fixpoint
+        # entry environment
+        for block in order:
+            env = dict(in_envs.get(block.id, {}))
+            for stmt in block.stmts:
+                self._transfer(stmt, env, record=True)
+        self._in_envs = in_envs
+        return self
+
+    def kind_of(self, node: ast.AST) -> str:
+        kind = self.kinds.get(id(node), OTHER)
+        if isinstance(kind, tuple):
+            return self._taint(list(kind[1]))
+        return kind
+
+    # ------------------------------------------------------------------
+    def _transfer(
+        self, stmt: ast.stmt, env: dict[str, object], record: bool
+    ) -> None:
+        for expr in header_exprs(stmt):
+            self._infer(expr, env, record)
+        if isinstance(stmt, ast.Assign):
+            kind = self._infer(stmt.value, env, record)
+            for target in stmt.targets:
+                self._bind(target, kind, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._infer(stmt.value, env, record)
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, OTHER)
+                env[stmt.target.id] = promote(
+                    _scalarize(current), _scalarize(value)
+                )
+        elif isinstance(stmt, ast.AnnAssign):
+            kind: object
+            if stmt.value is not None:
+                kind = self._infer(stmt.value, env, record)
+            else:
+                kind = annotation_kind(stmt.annotation)
+            self._bind(stmt.target, kind, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, OTHER, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, OTHER, env)
+        else:
+            for name in bound_names(stmt):
+                env[name] = OTHER
+
+    def _bind(
+        self, target: ast.expr, kind: object, env: dict[str, object]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = kind
+        elif isinstance(target, ast.Attribute):
+            path = dotted_name(target)
+            if path is not None:
+                env[path] = kind
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                isinstance(kind, tuple)
+                and kind[0] == "tuple"
+                and len(kind[1]) == len(target.elts)
+            ):
+                for element, element_kind in zip(target.elts, kind[1]):
+                    self._bind(element, element_kind, env)
+            else:
+                for element in target.elts:
+                    self._bind(element, OTHER, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, OTHER, env)
+        # subscript stores (x[i] = v) do not change x's kind
+
+    # -- expression inference ------------------------------------------
+    def _infer(
+        self, node: ast.expr, env: dict[str, object], record: bool
+    ) -> object:
+        kind = self._infer_inner(node, env, record)
+        if record:
+            self.kinds[id(node)] = kind
+        return kind
+
+    def _infer_inner(
+        self, node: ast.expr, env: dict[str, object], record: bool
+    ) -> object:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or isinstance(
+                node.value, (int, float)
+            ):
+                return SCALAR
+            return OTHER
+        if isinstance(node, ast.Name):
+            return env.get(node.id, OTHER)
+        if isinstance(node, ast.Attribute):
+            self._infer(node.value, env, record)
+            return self._attribute_kind(node, env)
+        if isinstance(node, ast.Await):
+            return self._infer(node.value, env, record)
+        if isinstance(node, ast.Starred):
+            return self._infer(node.value, env, record)
+        if isinstance(node, ast.NamedExpr):
+            kind = self._infer(node.value, env, record)
+            self._bind(node.target, kind, env)
+            return kind
+        if isinstance(node, ast.UnaryOp):
+            return _scalarize(self._infer(node.operand, env, record))
+        if isinstance(node, ast.BinOp):
+            left = self._infer(node.left, env, record)
+            right = self._infer(node.right, env, record)
+            return promote(_scalarize(left), _scalarize(right))
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._infer(child, env, record)
+            return SCALAR
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, env, record)
+            left = self._infer(node.body, env, record)
+            right = self._infer(node.orelse, env, record)
+            return join(_scalarize(left), _scalarize(right)) if not (
+                isinstance(left, str)
+                and isinstance(right, str)
+                and left == right
+            ) else left
+        if isinstance(node, ast.Subscript):
+            value = self._infer(node.value, env, record)
+            if isinstance(node.slice, ast.expr):
+                self._infer(node.slice, env, record)
+            if (
+                isinstance(value, tuple)
+                and value[0] == "tuple"
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, int)
+                and 0 <= node.slice.value < len(value[1])
+            ):
+                return value[1][node.slice.value]
+            if isinstance(value, str) and value in ARRAY_KINDS:
+                return value  # slicing keeps the array kind
+            if isinstance(value, tuple):
+                return self._taint(list(value[1]))
+            return OTHER
+        if isinstance(node, ast.Tuple):
+            kinds = [self._infer(e, env, record) for e in node.elts]
+            return ("tuple", kinds)
+        if isinstance(node, (ast.List, ast.Set)):
+            kinds = [self._infer(e, env, record) for e in node.elts]
+            return self._taint(kinds)
+        if isinstance(node, ast.Dict):
+            kinds = []
+            for key, value in zip(node.keys, node.values):
+                if key is not None:
+                    self._infer(key, env, record)
+                kinds.append(self._infer(value, env, record))
+            return self._taint(kinds)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return OTHER  # comprehension scope: not tracked
+        if isinstance(node, ast.Call):
+            return self._call_kind(node, env, record)
+        if isinstance(node, ast.Lambda):
+            return OTHER
+        if isinstance(node, ast.JoinedStr):
+            return OTHER
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child, env, record)
+        return OTHER
+
+    def _taint(self, kinds: list) -> str:
+        """Worst element kind of a container display."""
+        flat: list[str] = []
+        for kind in kinds:
+            if isinstance(kind, tuple):
+                flat.append(self._taint(list(kind[1])))
+            else:
+                flat.append(kind)
+        for worst in (OPERATOR, F64, F32, NDARRAY):
+            if worst in flat:
+                return worst
+        if flat and all(k in (CONFIG, SCALAR, OTHER) for k in flat):
+            if CONFIG in flat:
+                return CONFIG
+        return OTHER
+
+    def _attribute_kind(
+        self, node: ast.Attribute, env: dict[str, object]
+    ) -> object:
+        path = dotted_name(node)
+        if path is not None:
+            if path in ("np.float32", "numpy.float32"):
+                return DTYPE32
+            if path in ("np.float64", "numpy.float64"):
+                return DTYPE64
+            if path in env:
+                return env[path]
+        attr = node.attr
+        # the repo's precision naming convention: psi32/dense64_t/...
+        # (integer dtypes are not float promotion sources: excluded)
+        base = attr[:-2] if attr.endswith("_t") else attr
+        if "int" not in base:
+            if base.endswith("32") and not base.endswith("float32"):
+                return F32
+            if base.endswith("64") and not base.endswith("float64"):
+                return F64
+        if any(frag in attr.lower() for frag in _CONFIG_FRAGMENTS):
+            return CONFIG
+        if attr == "T":
+            base = self.kinds.get(id(node.value), OTHER)
+            if isinstance(base, str) and base in ARRAY_KINDS:
+                return base
+        return OTHER
+
+    def _dtype_kind(
+        self, node: ast.expr | None, env: dict[str, object]
+    ) -> str | None:
+        """``float32``/``float64`` for a dtype-position expression, or
+        ``None`` when the dtype cannot be pinned."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in ("float32", "f4"):
+                return F32
+            if node.value in ("float64", "f8", "double"):
+                return F64
+            return None
+        if isinstance(node, ast.Name):
+            held = env.get(node.id)
+            if held == DTYPE32:
+                return F32
+            if held == DTYPE64:
+                return F64
+            return None
+        if isinstance(node, ast.Attribute):
+            path = dotted_name(node)
+            if path in ("np.float32", "numpy.float32"):
+                return F32
+            if path in ("np.float64", "numpy.float64"):
+                return F64
+            if node.attr == "dtype":
+                receiver = self.kinds.get(id(node.value))
+                if receiver is None:
+                    receiver = self._infer(node.value, env, False)
+                if receiver in (F32, F64):
+                    return receiver
+                return None
+            if path is not None and env.get(path) in (DTYPE32, DTYPE64):
+                return F32 if env[path] == DTYPE32 else F64
+        if isinstance(node, ast.IfExp):
+            left = self._dtype_kind(node.body, env)
+            right = self._dtype_kind(node.orelse, env)
+            return left if left == right else None
+        return None
+
+    def _call_kind(
+        self, node: ast.Call, env: dict[str, object], record: bool
+    ) -> object:
+        arg_kinds = [self._infer(arg, env, record) for arg in node.args]
+        kw_kinds: dict[str, object] = {}
+        for keyword in node.keywords:
+            kw_kinds[keyword.arg or "**"] = self._infer(
+                keyword.value, env, record
+            )
+        name = dotted_name(node.func)
+        tail = name.split(".")[-1] if name else None
+        root = name.split(".")[0] if name else None
+
+        # method calls on tracked receivers
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.kinds.get(id(node.func.value))
+            if receiver is None:
+                receiver = self._infer(node.func.value, env, False)
+            if tail == "astype":
+                dtype_expr = node.args[0] if node.args else None
+                for keyword in node.keywords:
+                    if keyword.arg == "dtype":
+                        dtype_expr = keyword.value
+                cast = self._dtype_kind(dtype_expr, env)
+                if cast is not None:
+                    return cast
+                return NDARRAY
+            if tail == "copy" and isinstance(receiver, str):
+                if receiver in ARRAY_KINDS:
+                    return receiver
+            if tail == "to_bytes":
+                return OTHER
+            if tail in ("reshape", "ravel", "view", "transpose", "clip"):
+                if isinstance(receiver, str) and receiver in ARRAY_KINDS:
+                    return receiver
+            if tail in ("append", "extend", "insert", "add") and isinstance(
+                node.func.value, ast.Name
+            ):
+                # container mutation taints the container variable the
+                # same way a display would (how a task list built in a
+                # loop carries its dict payloads' kinds)
+                added = self._taint(list(arg_kinds))
+                if added in BOUNDARY_KINDS:
+                    current = env.get(node.func.value.id, OTHER)
+                    if not (
+                        isinstance(current, str)
+                        and current in BOUNDARY_KINDS
+                    ):
+                        env[node.func.value.id] = added
+                return OTHER
+
+        if root in _NUMPY_ROOTS and tail is not None:
+            out = kw_kinds.get("out")
+            dtype_expr = None
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    dtype_expr = keyword.value
+            if (
+                dtype_expr is None
+                and tail in ALLOC_DEFAULT_F64
+                and len(node.args) >= 2
+            ):
+                dtype_expr = node.args[1]  # np.zeros(shape, dtype)
+            dtype = self._dtype_kind(dtype_expr, env)
+            if tail in ALLOC_DEFAULT_F64:
+                if dtype is not None:
+                    return dtype
+                if dtype_expr is not None:
+                    return NDARRAY
+                return F64  # numpy's default dtype
+            if tail in ALLOC_LIKE:
+                if dtype is not None:
+                    return dtype
+                if dtype_expr is not None:
+                    return NDARRAY
+                if arg_kinds and isinstance(arg_kinds[0], str):
+                    if arg_kinds[0] in ARRAY_KINDS:
+                        return arg_kinds[0]
+                return NDARRAY
+            if tail in PRESERVE or tail in COMBINE:
+                if dtype is not None:
+                    return dtype
+                if dtype_expr is not None:
+                    return NDARRAY
+                seed = arg_kinds[0] if arg_kinds else OTHER
+                if isinstance(seed, tuple):
+                    seed = self._taint(list(seed[1]))
+                if seed in ARRAY_KINDS:
+                    return seed
+                if seed == SCALAR and tail == "array":
+                    return F64
+                return NDARRAY
+            if tail in UFUNCS:
+                if isinstance(out, str) and out in ARRAY_KINDS:
+                    return out
+                operands = [
+                    _scalarize(k)
+                    for k in arg_kinds
+                    if isinstance(k, str)
+                ]
+                result = SCALAR
+                for operand in operands:
+                    result = promote(result, operand)
+                return result if result in ARRAY_KINDS else NDARRAY
+            if tail == "float32":
+                return F32
+            if tail == "float64":
+                return F64
+            if tail == "dtype":
+                inner = self._dtype_kind(
+                    node.args[0] if node.args else None, env
+                )
+                if inner == F32:
+                    return DTYPE32
+                if inner == F64:
+                    return DTYPE64
+                return OTHER
+            if isinstance(out, str) and out in ARRAY_KINDS:
+                return out
+            return OTHER
+
+        if tail in OPERATOR_FACTORIES:
+            return OPERATOR
+        if tail == "asdict":
+            return CONFIG
+        if tail in self.module_returns:
+            return self.module_returns[tail]
+        return OTHER
+
+
+def _scalarize(kind: object) -> str:
+    """Collapse container kinds to a plain lattice point for binops."""
+    if isinstance(kind, tuple):
+        return OTHER
+    if kind in (DTYPE32, DTYPE64):
+        return OTHER
+    return kind  # type: ignore[return-value]
+
+
+def analyze_functions(tree: ast.Module):
+    """Yield ``(func_node, KindAnalysis)`` for every function in a
+    module (nested functions analyzed separately, as their own
+    contexts)."""
+    returns = module_return_kinds(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, KindAnalysis(node, returns).run()

@@ -12,8 +12,12 @@ from __future__ import annotations
 from . import (  # noqa: F401 — imported for their registration side effect
     rules_alloc,
     rules_async,
+    rules_await,
+    rules_boundary,
+    rules_dispatch,
     rules_docs,
     rules_exceptions,
     rules_lock,
+    rules_precision,
     rules_telemetry,
 )

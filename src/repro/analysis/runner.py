@@ -5,7 +5,8 @@ pipeline per run:
 
 1. discover ``*.py`` files (default: ``src/`` under the root, the
    runtime the invariants protect; pass explicit paths to lint
-   anything else, e.g. the rule-test fixtures);
+   anything else, e.g. the rule-test fixtures; ``--changed [REF]``
+   narrows to files changed vs a git base ref for fast PR feedback);
 2. parse each into a :class:`~repro.analysis.core.SourceModule` and
    run every registered rule over it, then each rule's cross-module
    :meth:`~repro.analysis.core.Rule.finish` hook;
@@ -13,9 +14,9 @@ pipeline per run:
    ``RL000`` diagnostics for unjustified ones;
 4. subtract the checked-in baseline
    (:mod:`repro.analysis.baseline`);
-5. render ``file:line: RLxxx message`` lines (or JSON), optionally
-   write the machine-readable report, and exit non-zero iff findings
-   remain.
+5. render ``file:line: RLxxx message`` lines (or JSON, or
+   ``--format github`` workflow annotations), optionally write the
+   machine-readable report, and exit non-zero iff findings remain.
 
 Exit codes: 0 clean, 1 findings, 2 usage error — shell-friendly so
 ``scripts/run_tier1.sh`` and CI gate on it directly.
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -36,7 +38,7 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
-from .core import Finding, Project, SourceModule, all_rules
+from .core import Finding, Project, SourceModule, all_rule_ids, all_rules
 
 REPORT_SCHEMA = 1
 
@@ -71,15 +73,49 @@ def _relative(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def changed_files(root: Path, base: str) -> set[str] | None:
+    """Repo-relative paths changed vs ``base`` (plus untracked files),
+    or None when git is unavailable — the caller falls back to the
+    full tree so ``--changed`` never silently lints nothing."""
+    commands = (
+        ["git", "diff", "--name-only", "-z", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    )
+    names: set[str] = set()
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if result.returncode != 0:
+            return None
+        names.update(n for n in result.stdout.split("\0") if n)
+    return names
+
+
 def run_lint(
     root: Path,
     paths: list[str] | None = None,
     select: set[str] | None = None,
+    only_rels: set[str] | None = None,
 ) -> tuple[list[Finding], Project, int]:
     """Run every (selected) rule; returns (findings, project,
     suppressed-count).  Findings are sorted by file, line, rule and
-    *not* yet baseline-filtered."""
+    *not* yet baseline-filtered.  ``only_rels`` (from ``--changed``)
+    restricts the discovered set to those repo-relative paths — a
+    filter, not an expansion, so test fixtures stay out even when they
+    changed."""
     files = discover_files(root, paths)
+    if only_rels is not None:
+        files = [
+            path for path in files if _relative(path, root) in only_rels
+        ]
     modules = [
         SourceModule(
             path, _relative(path, root), path.read_text(encoding="utf-8")
@@ -139,7 +175,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "repro-lint: static invariant checks for the decode stack "
             "(event-loop blocking, lock discipline, hot-loop "
             "allocations, telemetry catalog, exception hygiene, "
-            "docs drift)"
+            "docs drift, precision flow, await atomicity, process "
+            "boundaries, frame-dispatch exhaustiveness)"
         ),
     )
     parser.add_argument(
@@ -159,10 +196,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "lint only files changed vs REF (default HEAD; plus "
+            "untracked files); falls back to the full tree when git "
+            "is unavailable"
+        ),
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="stdout format",
+        help=(
+            "stdout format (github emits workflow annotations: "
+            "::error file=...,line=...)"
+        ),
     )
     parser.add_argument(
         "--report",
@@ -210,15 +262,28 @@ def main(argv: list[str] | None = None) -> int:
     select = None
     if args.select:
         select = {rule_id.strip() for rule_id in args.select.split(",")}
-        unknown = select - set(all_rules())
+        # validate against the full id space: RL000 is a legal (if
+        # redundant) selection — framework diagnostics always run
+        unknown = select - all_rule_ids()
         if unknown:
             print(
                 f"unknown rule id(s): {', '.join(sorted(unknown))}",
                 file=sys.stderr,
             )
             return 2
+    only_rels = None
+    if args.changed is not None:
+        only_rels = changed_files(root, args.changed)
+        if only_rels is None:
+            print(
+                "repro-lint: git unavailable; --changed falling back "
+                "to the full tree",
+                file=sys.stderr,
+            )
     try:
-        findings, _, suppressed = run_lint(root, args.paths, select)
+        findings, _, suppressed = run_lint(
+            root, args.paths, select, only_rels
+        )
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -254,6 +319,19 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.format == "json":
         print(json.dumps(report, indent=2, sort_keys=True))
+    elif args.format == "github":
+        for finding in findings:
+            # workflow-command annotations; newlines would terminate
+            # the command early, so flatten the message
+            message = finding.message.replace("\n", " ")
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"title={finding.rule} {finding.key}::{message}"
+            )
+        print(
+            f"repro-lint: {len(findings)} finding(s), "
+            f"{suppressed} suppressed, {baselined} baselined"
+        )
     else:
         for finding in findings:
             print(finding.render())

@@ -349,7 +349,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static invariant checks (repro-lint, rules RL001-RL006)",
+        help="static invariant checks (repro-lint, rules RL001-RL010)",
         description=(
             "Run repro-lint over the source tree.  All arguments are "
             "forwarded to python -m repro.analysis; see "

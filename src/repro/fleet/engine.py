@@ -785,7 +785,7 @@ class FleetDecoder:
             )
 
         slice_outputs = self._pool_map(
-            solve_measurement_block, column_tasks, len(column_tasks)
+            solve_measurement_block, column_tasks, len(column_tasks)  # repro-lint: disable=RL009 — column sharding intentionally ships pooled measurement columns (stages 1-2 already ran per-member in the parent); workers still rebuild the operator from the config seed
         )
         if slice_outputs is None:
             return None

@@ -328,6 +328,11 @@ class NodeClient:
             elif kind is FrameKind.ERROR:
                 report.error = decode_json_body(body).get("error", "unknown")
                 break
+            else:
+                # a gateway never sends handshake/upstream kinds here; a
+                # future protocol frame must not stall the ack loop
+                report.error = f"unexpected frame kind {kind.name}"
+                break
 
     def _retransmit(self, writer, payload: dict, report: NodeReport) -> None:
         """Answer one NACK from the retransmit ring.  Retransmissions

@@ -1033,12 +1033,21 @@ class IngestGateway:
                 self.workers = 1
         if self.workers >= 2:
             await self._inflight.acquire()
+            if self._closing or self._process_pool is None:
+                # close() may have shut the pool down while this batch
+                # waited for a permit; submitting then raises outside
+                # the route path and silently kills the drain loop
+                self._inflight.release()
+                self._fail_batch(
+                    batch, ConfigurationError("gateway is closed")
+                )
+                return
             # restamp after the slot wait: the controller's solve-time
             # signal must measure the solve, not pool contention — a
             # queueing delay blamed on the width would shed spuriously
             started = loop.time()
             future = loop.run_in_executor(
-                self._process_pool, solve_measurement_block, task
+                self._process_pool, solve_measurement_block, task  # repro-lint: disable=RL009 — designed hand-off: stages 1-2 ran in the gateway, so the task ships dequantized measurement columns (kilobytes), not operators; workers rebuild A from the config seed
             )
             solve = asyncio.create_task(
                 self._route_async(batch, future, group, reason, started)

@@ -535,6 +535,7 @@ def structured_batched_fista(
         else contextlib.nullcontext()
     )
     with fast_errstate:
+        # repro-lint: f32
         if iterate_dtype == np.float32:
             ys_fast = workspace.arena("ys32", (m, batch), np.float32)
             np.copyto(ys_fast, ys64)
@@ -552,6 +553,7 @@ def structured_batched_fista(
         )
 
         coefficients = np.asarray(fast.coefficients, dtype=np.float64)
+        # repro-lint: f32
         if iterate_dtype == np.float32:
             synth = workspace.arena("synth32", (samples, batch), np.float32)
             np.matmul(structure.psi32, fast.coefficients, out=synth)

@@ -92,6 +92,11 @@ def fista(
         raise SolverError(f"tolerance must be positive, got {tolerance}")
 
     dtype = np.float32 if np.asarray(y).dtype == np.float32 else np.float64
+    if isinstance(a, np.ndarray) and a.dtype != dtype:
+        # a dense operator left at the wrong precision would run every
+        # matvec of the iteration at float64 and silently promote the
+        # residual (the batched path casts identically)
+        operator = as_operator(np.asarray(a, dtype=dtype))
     y = np.asarray(y, dtype=dtype)
     n = operator.shape[1]
 
@@ -121,9 +126,11 @@ def fista(
 
     for iteration in range(1, max_iterations + 1):
         iterations = iteration
-        residual = operator.matvec(momentum) - y
-        gradient = 2.0 * operator.rmatvec(residual)
-        alpha = soft_threshold(momentum - step * gradient.astype(dtype), threshold)
+        residual = np.asarray(operator.matvec(momentum), dtype=dtype) - y
+        # matrix-free operators may still compute in float64; asarray is
+        # a no-op for the (now dtype-matched) dense path
+        gradient = 2.0 * np.asarray(operator.rmatvec(residual), dtype=dtype)
+        alpha = soft_threshold(momentum - step * gradient, threshold)
 
         t_next = (1.0 + math.sqrt(1.0 + 4.0 * t_k * t_k)) / 2.0
         momentum = alpha + dtype((t_k - 1.0) / t_next) * (alpha - alpha_prev)

@@ -40,10 +40,12 @@ class MetricsServer:
         return self.port
 
     async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # swap before awaiting: a concurrent start() while wait_closed()
+        # is suspended must not have its fresh listener nulled out
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     async def _handle(self, reader, writer) -> None:
         try:

@@ -1,0 +1,23 @@
+# repro-lint test fixture: RL007 positives.  Parsed only, never run.
+import numpy as np
+
+
+# repro-lint: f32
+def fast_leg(psi):
+    iterate = np.asarray(psi, dtype=np.float32)
+    weights = np.zeros(iterate.shape)  # line 8: allocator without dtype
+    bias = np.ones(4)  # line 9: allocator without dtype
+    gain = iterate * np.float64(0.5)  # line 10: f32 x f64 binop
+    table = np.float64(1.0)
+    mixed = np.add(iterate, table)  # line 12: binary ufunc promotion
+    return gain + mixed + weights + bias
+
+
+def hot_leg(block, steps):
+    block32 = np.asarray(block, dtype=np.float32)
+    scale = np.float64(2.0)
+    total = np.zeros_like(block32)
+    # repro-lint: hot
+    for _ in range(steps):
+        total += block32 * scale  # line 22: promotion in a hot loop
+    return total

@@ -1,0 +1,22 @@
+# repro-lint test fixture: RL008 positives.  Parsed only, never run.
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+class Gateway:
+    async def dispatch(self, task):
+        if self._pool is None:
+            self._pool = make_pool()
+        await self._sem.acquire()
+        return self._pool.submit(task)  # line 13: stale-guard use
+
+    async def shutdown(self):
+        if self._queue:
+            await drain(self._queue)
+        self._queue = None  # line 18: stale-guard write
+
+    async def locked(self):
+        with _lock:
+            await asyncio.sleep(0.1)  # line 22: lock held across await

@@ -1,0 +1,27 @@
+# repro-lint test fixture: RL008 negatives.  Parsed only, never run.
+import asyncio
+
+
+class Gateway:
+    async def dispatch(self, task):
+        if self._pool is None:
+            self._pool = make_pool()
+        await self._sem.acquire()
+        if self._pool is None:  # re-validated after the await: fine
+            self._sem.release()
+            return None
+        return self._pool.submit(task)
+
+    async def close(self):
+        # swap-then-await: the post-await state is task-private
+        server, self._server = self._server, None
+        if server is not None:
+            await server.wait_closed()
+
+    async def wait_all(self):
+        while self._pending:  # loop header re-tests every iteration
+            await asyncio.sleep(0)
+
+    async def async_locked(self):
+        async with self._solve_lock:  # asyncio lock: non-blocking hold
+            await asyncio.sleep(0)

@@ -1,0 +1,23 @@
+# repro-lint test fixture: RL010 positives.  Parsed only, never run.
+import enum
+
+
+class FrameKind(enum.Enum):
+    HELLO = "hello"
+    PACKET = "packet"
+    BYE = "bye"
+
+
+def dispatch(kind, body):  # line 11; chain misses BYE, no else
+    if kind is FrameKind.HELLO:
+        return greet(body)
+    elif kind is FrameKind.PACKET:
+        return ingest(body)
+
+
+def match_dispatch(kind):  # match misses BYE, no case _
+    match kind:
+        case FrameKind.HELLO:
+            return 1
+        case FrameKind.PACKET:
+            return 2

@@ -1,0 +1,44 @@
+# repro-lint test fixture: RL010 negatives.  Parsed only, never run.
+import enum
+
+
+class FrameKind(enum.Enum):
+    HELLO = "hello"
+    PACKET = "packet"
+    BYE = "bye"
+
+
+def dispatch_all(kind, body):
+    if kind is FrameKind.HELLO:
+        return greet(body)
+    elif kind in (FrameKind.PACKET, FrameKind.BYE):
+        return ingest(body)
+
+
+def dispatch_default(kind, body):
+    if kind is FrameKind.HELLO:
+        return greet(body)
+    elif kind is FrameKind.PACKET:
+        return ingest(body)
+    else:
+        raise ValueError(kind)
+
+
+def lone_guard(kind):
+    if kind is FrameKind.BYE:  # a single if is a guard, not a dispatch
+        return None
+    return kind
+
+
+def negative_guard(kind):
+    if kind is not FrameKind.PACKET:  # raise-on-wrong-kind guard
+        raise ValueError(kind)
+    return kind
+
+
+def match_default(kind):
+    match kind:
+        case FrameKind.HELLO:
+            return 1
+        case _:
+            return 0

@@ -273,3 +273,167 @@ class TestRL006DocsDrift:
             "subcommand:ghost",
             "flag:--spooky",
         }
+
+
+class TestRL007PrecisionFlow:
+    def test_bad_fixture_positives(self):
+        findings, _ = lint_fixture("rl007_bad.py", "RL007")
+        assert [f.line for f in findings] == [8, 9, 10, 12, 22]
+        assert {f.rule for f in findings} == {"RL007"}
+        keys = {f.key for f in findings}
+        assert "alloc-no-dtype:fast_leg:np.zeros" in keys
+        assert "alloc-no-dtype:fast_leg:np.ones" in keys
+        assert "promotion:fast_leg:f32-arrayxf64-array" in keys
+        assert "promotion:hot_leg:f32-arrayxf64-array" in keys
+
+    def test_good_fixture_clean(self):
+        findings, _ = lint_fixture("rl007_good.py", "RL007")
+        assert findings == []
+
+    def test_silent_without_markers(self, tmp_path):
+        # mixed precision outside hot/f32 regions is not RL007's call
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def mix(x):\n"
+            "    a = np.asarray(x, dtype=np.float32)\n"
+            "    return a * np.float64(2.0)\n",
+            "RL007",
+        )
+        assert findings == []
+
+    def test_message_names_the_promotion(self):
+        findings, _ = lint_fixture("rl007_bad.py", "RL007")
+        promo = next(f for f in findings if f.line == 10)
+        assert "float64 promotion" in promo.message
+        alloc = next(f for f in findings if f.line == 8)
+        assert "dtype" in alloc.message
+
+
+class TestRL008AwaitAtomicity:
+    def test_bad_fixture_positives(self):
+        findings, _ = lint_fixture("rl008_bad.py", "RL008")
+        assert [f.line for f in findings] == [13, 18, 22]
+        keys = {f.key for f in findings}
+        assert "stale-guard:dispatch:self._pool:used" in keys
+        assert "stale-guard:shutdown:self._queue:written" in keys
+        assert "lock-across-await:locked:_lock" in keys
+
+    def test_good_fixture_clean(self):
+        findings, _ = lint_fixture("rl008_good.py", "RL008")
+        assert findings == []
+
+    def test_augassign_is_self_validating(self, tmp_path):
+        # read-modify-write reads the value at the write site
+        findings = lint_source(
+            tmp_path,
+            "class C:\n"
+            "    async def count(self, frames):\n"
+            "        if self.acked:\n"
+            "            await drain()\n"
+            "        self.acked += 1\n",
+            "RL008",
+        )
+        assert findings == []
+
+    def test_message_explains_the_race(self):
+        findings, _ = lint_fixture("rl008_bad.py", "RL008")
+        use = next(f for f in findings if f.line == 13)
+        assert "re-validation" in use.message
+        assert "dispatch" in use.message
+        lock = next(f for f in findings if f.line == 22)
+        assert "asyncio.Lock" in lock.message
+
+
+class TestRL009ProcessBoundary:
+    def test_bad_fixture_positives(self):
+        findings, _ = lint_fixture("rl009_bad.py", "RL009")
+        assert [f.line for f in findings] == [11, 17, 22, 30, 36]
+        keys = {f.key for f in findings}
+        assert "payload:ship_matrix:dense:f64-array" in keys
+        assert "payload:ship_operator:operator:operator" in keys
+        assert "closure:ship_lambda" in keys
+        assert "closure:ship_nested:worker" in keys
+        assert "payload:ship_via_executor:block:f64-array" in keys
+
+    def test_good_fixture_clean(self):
+        findings, _ = lint_fixture("rl009_good.py", "RL009")
+        assert findings == []
+
+    def test_pool_built_in_loop_carries_payload_kind(self, tmp_path):
+        # tasks appended in a loop taint the list (the fleet's
+        # column-sharded layout), surviving the zero-iteration join
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "import multiprocessing\n"
+            "def shard(blocks):\n"
+            "    tasks = []\n"
+            "    for block in blocks:\n"
+            "        tasks.append({'block': np.zeros((4, 4))})\n"
+            "    pool = multiprocessing.Pool()\n"
+            "    return pool.map(solve, tasks)\n",
+            "RL009",
+        )
+        assert [f.key for f in findings] == [
+            "payload:shard:tasks:f64-array"
+        ]
+
+    def test_message_names_rebuild_material(self):
+        findings, _ = lint_fixture("rl009_bad.py", "RL009")
+        payload = next(f for f in findings if f.line == 11)
+        assert "rebuild from" in payload.message
+        assert "seeds" in payload.message
+
+
+class TestRL010FrameDispatch:
+    def test_bad_fixture_positives(self):
+        findings, _ = lint_fixture("rl010_bad.py", "RL010")
+        assert [f.line for f in findings] == [12, 19]
+        for finding in findings:
+            assert "BYE" in finding.message
+            assert finding.key.endswith(":BYE")
+
+    def test_good_fixture_clean(self):
+        findings, _ = lint_fixture("rl010_good.py", "RL010")
+        assert findings == []
+
+    def test_silent_without_enum_definition(self, tmp_path):
+        # no FrameKind class in the linted tree: stay silent rather
+        # than guess the member set
+        findings = lint_source(
+            tmp_path,
+            "def dispatch(kind):\n"
+            "    if kind is FrameKind.HELLO:\n"
+            "        return 1\n"
+            "    elif kind is FrameKind.PACKET:\n"
+            "        return 2\n",
+            "RL010",
+        )
+        assert findings == []
+
+    def test_members_resolve_across_modules(self, tmp_path):
+        (tmp_path / "proto.py").write_text(
+            "import enum\n"
+            "class FrameKind(enum.Enum):\n"
+            "    A = 1\n"
+            "    B = 2\n"
+            "    C = 3\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "client.py").write_text(
+            "def dispatch(kind):\n"
+            "    if kind is FrameKind.A:\n"
+            "        return 1\n"
+            "    elif kind is FrameKind.B:\n"
+            "        return 2\n",
+            encoding="utf-8",
+        )
+        findings, _, _ = run_lint(
+            tmp_path,
+            [str(tmp_path / "proto.py"), str(tmp_path / "client.py")],
+            {"RL010"},
+        )
+        (finding,) = findings
+        assert finding.path.endswith("client.py")
+        assert "C" in finding.message

@@ -84,6 +84,87 @@ class TestReports:
         assert report["counts"] == {"RL001": 1}
 
 
+class TestSelectFrameworkDiagnostics:
+    def test_rl000_is_a_legal_selection(self, tmp_path):
+        root = _tree(tmp_path, "x = 1\n")
+        assert main(["--root", str(root), "--select", "RL000"]) == 0
+
+    def test_rl000_reported_even_when_selection_excludes_it(
+        self, tmp_path, capsys
+    ):
+        """Framework diagnostics (unparseable files, malformed
+        suppressions) must always surface: narrowing the run to RL002
+        cannot silence the syntax error."""
+        root = _tree(tmp_path, "def broken(:\n")
+        assert main(["--root", str(root), "--select", "RL002"]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+
+class TestChangedFiles:
+    def _git(self, root, *argv):
+        subprocess.run(
+            ["git", *argv],
+            cwd=root,
+            check=True,
+            capture_output=True,
+            env=dict(
+                os.environ,
+                GIT_AUTHOR_NAME="t",
+                GIT_AUTHOR_EMAIL="t@t",
+                GIT_COMMITTER_NAME="t",
+                GIT_COMMITTER_EMAIL="t@t",
+            ),
+        )
+
+    def test_changed_limits_lint_to_diffed_and_untracked(
+        self, tmp_path, capsys
+    ):
+        root = _tree(tmp_path, BAD_ASYNC)
+        clean = root / "src" / "pkg" / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        self._git(root, "init", "-q")
+        self._git(root, "add", "-A")
+        self._git(root, "commit", "-qm", "seed")
+        # mod.py is committed clean, then clean.py gains a violation:
+        # --changed must lint only clean.py and miss mod.py's RL001
+        clean.write_text(BAD_ASYNC, encoding="utf-8")
+        untracked = root / "src" / "pkg" / "fresh.py"
+        untracked.write_text(BAD_ASYNC, encoding="utf-8")
+        assert main(["--root", str(root), "--changed", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert "clean.py" in out
+        assert "fresh.py" in out  # untracked files count as changed
+        assert "mod.py" not in out
+
+    def test_changed_falls_back_to_full_tree_without_git(
+        self, tmp_path, capsys
+    ):
+        root = _tree(tmp_path, BAD_ASYNC)
+        env_path = os.environ.get("PATH", "")
+        os.environ["PATH"] = str(tmp_path / "empty-bin")
+        try:
+            assert main(["--root", str(root), "--changed", "HEAD"]) == 1
+        finally:
+            os.environ["PATH"] = env_path
+        captured = capsys.readouterr()
+        assert "falling back to the full tree" in captured.err
+        assert "mod.py:5: RL001" in captured.out
+
+
+class TestGithubFormat:
+    def test_workflow_annotations_emitted(self, tmp_path, capsys):
+        root = _tree(tmp_path, BAD_ASYNC)
+        assert main(["--root", str(root), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/pkg/mod.py,line=5,title=RL001 " in out
+        assert "1 finding(s)" in out  # summary line still present
+
+    def test_clean_tree_emits_no_annotations(self, tmp_path, capsys):
+        root = _tree(tmp_path, "x = 1\n")
+        assert main(["--root", str(root), "--format", "github"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
 class TestBaselineFlow:
     def test_write_then_absorb_then_new_finding(self, tmp_path, capsys):
         root = _tree(tmp_path, BAD_ASYNC)

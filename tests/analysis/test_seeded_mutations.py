@@ -1,0 +1,164 @@
+"""Seeded-mutation tests: re-introduce one representative historical
+bug per dataflow rule into the *real* source file and assert the rule
+catches it.
+
+Fixture tests prove the rules work on synthetic snippets; these prove
+they guard the actual sites that motivated them — if a refactor moves
+or rewrites a protected site, the ``assert old in text`` trips and the
+test must be re-pointed rather than silently passing."""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+def mutate_and_lint(
+    tmp_path: Path,
+    source: Path,
+    old: str,
+    new: str,
+    rule: str,
+    extra: tuple[Path, ...] = (),
+):
+    """Apply one textual mutation and lint the result with one rule."""
+    text = source.read_text(encoding="utf-8")
+    assert old in text, f"mutation anchor vanished from {source.name}"
+    mutated = tmp_path / source.name
+    mutated.write_text(text.replace(old, new, 1), encoding="utf-8")
+    paths = [str(path) for path in extra] + [str(mutated)]
+    findings, _, _ = run_lint(tmp_path, paths, {rule})
+    return [f for f in findings if f.rule == rule]
+
+
+def lint_pristine(tmp_path: Path, source: Path, rule: str, extra=()):
+    return mutate_and_lint(tmp_path, source, "", "", rule, extra)
+
+
+class TestRL007SeededPromotion:
+    SOURCE = SRC / "solvers" / "batched.py"
+
+    def test_pristine_f32_leg_is_clean(self, tmp_path):
+        assert lint_pristine(tmp_path, self.SOURCE, "RL007") == []
+
+    def test_f64_promotion_in_f32_leg_caught(self, tmp_path):
+        # the historical bug class: one float64 operand silently runs
+        # the fast leg at double precision
+        findings = mutate_and_lint(
+            tmp_path,
+            self.SOURCE,
+            "np.copyto(ys_fast, ys64)",
+            "ys_fast = np.float32(1.0) * ys64",
+            "RL007",
+        )
+        assert any("promotion" in f.key for f in findings)
+        assert any("float64 promotion" in f.message for f in findings)
+
+    def test_default_dtype_alloc_in_f32_leg_caught(self, tmp_path):
+        findings = mutate_and_lint(
+            tmp_path,
+            self.SOURCE,
+            'ys_fast = workspace.arena("ys32", (m, batch), np.float32)',
+            "ys_fast = np.empty((m, batch))",
+            "RL007",
+        )
+        assert any("alloc-no-dtype" in f.key for f in findings)
+
+
+class TestRL008SeededStaleGuard:
+    SOURCE = SRC / "ingest" / "gateway.py"
+    GUARD = (
+        "            if self._closing or self._process_pool is None:\n"
+        "                # close() may have shut the pool down while "
+        "this batch\n"
+        "                # waited for a permit; submitting then raises "
+        "outside\n"
+        "                # the route path and silently kills the drain "
+        "loop\n"
+        "                self._inflight.release()\n"
+        "                self._fail_batch(\n"
+        "                    batch, ConfigurationError(\"gateway is "
+        "closed\")\n"
+        "                )\n"
+        "                return\n"
+    )
+
+    def test_pristine_gateway_is_clean(self, tmp_path):
+        assert lint_pristine(tmp_path, self.SOURCE, "RL008") == []
+
+    def test_removing_revalidation_caught(self, tmp_path):
+        # PR 9's gateway fix: without the post-acquire re-check, a
+        # close() during the permit wait hands a shut-down pool to
+        # run_in_executor
+        findings = mutate_and_lint(
+            tmp_path, self.SOURCE, self.GUARD, "", "RL008"
+        )
+        assert [f.key for f in findings] == [
+            "stale-guard:_dispatch:self._process_pool:used"
+        ]
+
+
+class TestRL009SeededArrayShip:
+    SOURCE = SRC / "fleet" / "engine.py"
+    DISABLE = (
+        "  # repro-lint: disable=RL009 — column sharding intentionally "
+        "ships pooled measurement columns (stages 1-2 already ran "
+        "per-member in the parent); workers still rebuild the operator "
+        "from the config seed"
+    )
+
+    def test_pristine_engine_is_clean(self, tmp_path):
+        assert lint_pristine(tmp_path, self.SOURCE, "RL009") == []
+
+    def test_unjustified_array_ship_caught(self, tmp_path):
+        # the PR 2 invariant: stripping the justification exposes the
+        # ndarray-bearing column tasks crossing the pool boundary
+        findings = mutate_and_lint(
+            tmp_path, self.SOURCE, self.DISABLE, "", "RL009"
+        )
+        assert [f.key for f in findings] == [
+            "payload:_run_column_sharded:column_tasks:ndarray-unknown"
+        ]
+
+
+class TestRL010SeededMissingArm:
+    SOURCE = SRC / "ingest" / "client.py"
+    PROTO = SRC / "ingest" / "protocol.py"
+    DEFAULT_ARM = (
+        "            else:\n"
+        "                # a gateway never sends handshake/upstream "
+        "kinds here; a\n"
+        "                # future protocol frame must not stall the "
+        "ack loop\n"
+        "                report.error = "
+        "f\"unexpected frame kind {kind.name}\"\n"
+        "                break\n"
+    )
+
+    def test_pristine_client_is_clean(self, tmp_path):
+        assert (
+            lint_pristine(
+                tmp_path, self.SOURCE, "RL010", extra=(self.PROTO,)
+            )
+            == []
+        )
+
+    def test_removing_default_arm_caught(self, tmp_path):
+        # PR 7 added PARITY/NACK by hand-auditing dispatches; removing
+        # the ack loop's default re-creates the silent-drop hazard
+        findings = mutate_and_lint(
+            tmp_path,
+            self.SOURCE,
+            self.DEFAULT_ARM,
+            "",
+            "RL010",
+            extra=(self.PROTO,),
+        )
+        (finding,) = findings
+        assert finding.path.endswith("client.py")
+        # the ack loop handles DECODED/NACK/ERROR; everything else is
+        # reported missing once the default goes away
+        for member in ("HELLO", "PACKET", "BYE", "PARITY", "WELCOME"):
+            assert member in finding.message

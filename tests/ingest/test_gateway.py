@@ -552,6 +552,51 @@ class TestFaults:
         assert failed["batch"] and len(failed["batch"]) == 2
         assert not still_locked  # the slot came back
 
+    def test_dispatch_revalidates_pool_after_permit_wait(
+        self, small_config
+    ):
+        """close() can shut the process pool down while _dispatch waits
+        on the in-flight semaphore.  The post-acquire re-check must
+        route the batch to _fail_batch and release the permit instead
+        of submitting to a dead pool — that RuntimeError would escape
+        the drain loop and silently stop all flushing."""
+        from collections import deque
+        from types import SimpleNamespace
+
+        async def run():
+            gateway = IngestGateway(
+                batch_size=1, flush_ms=100.0, workers=2
+            )
+            # a pool existed when the batch was planned...
+            gateway._process_pool = object()
+            gateway._inflight = asyncio.Semaphore(1)
+            # ...but close() ran while we waited for the permit
+            gateway._closing = True
+            failed = {}
+            gateway._fail_batch = lambda batch, exc: failed.update(
+                batch=batch, exc=exc
+            )
+            window = SimpleNamespace(
+                session=SimpleNamespace(id="s0"),
+                index=0,
+                column=np.zeros(small_config.m),
+                fraction=0.5,
+            )
+            group = SimpleNamespace(
+                key=("k",),
+                label="g0",
+                config=small_config,
+                precision="float64",
+                pending=deque([window]),
+            )
+            await gateway._dispatch(group, "full")
+            return failed, gateway._inflight.locked()
+
+        failed, still_locked = asyncio.run(run())
+        assert isinstance(failed["exc"], ConfigurationError)
+        assert failed["batch"] == [failed["batch"][0]]
+        assert not still_locked  # the permit came back
+
     def test_packet_before_hello_rejected(self, small_config, database):
         record = database.load("100")
         system = _system(small_config, record)
@@ -571,6 +616,37 @@ class TestFaults:
         kind, body = asyncio.run(run())
         assert kind is FrameKind.ERROR
         assert "expected HELLO" in json.loads(body)["error"]
+
+
+class TestUnexpectedFrames:
+    def test_ack_loop_reports_unexpected_kind_and_exits(
+        self, small_config, database
+    ):
+        """A frame kind the gateway never sends on the ack path (here a
+        looped-back HELLO) must surface in report.error and end the
+        receive loop instead of being silently dropped."""
+        from repro.ingest import NodeReport
+
+        record = database.load("100")
+        client = NodeClient(
+            _system(small_config, record), record, max_packets=1
+        )
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                encode_json_frame(FrameKind.HELLO, {"record": "100"})
+            )
+            reader.feed_eof()
+            report = NodeReport(record="100", channel=0)
+            await asyncio.wait_for(
+                client._receive(reader, None, 1, report), timeout=2.0
+            )
+            return report
+
+        report = asyncio.run(run())
+        assert report.error == "unexpected frame kind HELLO"
+        assert report.acked == 0
 
 
 class TestLossResilience:

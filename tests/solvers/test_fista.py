@@ -147,6 +147,22 @@ class TestPrecision:
         result = fista(a, y, lam, max_iterations=1000, tolerance=1e-5)
         assert result.coefficients.dtype == np.float32
 
+    def test_float64_operator_cast_to_match_float32_y(self, sparse_problem):
+        """A float64 dense A with float32 y must run the whole solve at
+        float32 — bit-identical to passing a float32 A — rather than
+        silently promoting every matvec to float64."""
+        a64 = sparse_problem["system"]
+        y32 = sparse_problem["y"].astype(np.float32)
+        lam = lambda_from_fraction(a64, y32, 0.01)
+        mixed = fista(a64, y32, lam, max_iterations=200, tolerance=1e-5)
+        pure = fista(
+            a64.astype(np.float32), y32, lam,
+            max_iterations=200, tolerance=1e-5,
+        )
+        assert mixed.coefficients.dtype == np.float32
+        assert mixed.iterations == pure.iterations
+        assert np.array_equal(mixed.coefficients, pure.coefficients)
+
     def test_float32_matches_float64_quality(self, sparse_problem):
         """The Figure 6 claim at unit-test scale."""
         a64, y64 = sparse_problem["system"], sparse_problem["y"]

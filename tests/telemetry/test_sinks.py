@@ -154,6 +154,30 @@ class TestMetricsServer:
         assert not exposition_matches_snapshot(before, final)
         assert exposition_matches_snapshot(after, final)
 
+    def test_close_does_not_null_a_concurrent_restart(self):
+        """close() swaps the listener out *before* awaiting
+        wait_closed(); a start() that lands during that await must not
+        have its fresh listener nulled by close()'s tail."""
+
+        async def scenario():
+            server = MetricsServer(_busy_registry())
+            fresh = object()
+
+            class OldListener:
+                def close(self):
+                    pass
+
+                async def wait_closed(self):
+                    # a concurrent start() lands while the old
+                    # listener drains
+                    server._server = fresh
+
+            server._server = OldListener()
+            await server.close()
+            return server._server is fresh
+
+        assert asyncio.run(scenario())
+
     def test_callable_source(self):
         async def scenario():
             snap = _busy_registry().snapshot()
