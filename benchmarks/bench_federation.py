@@ -1,0 +1,358 @@
+"""Federation front door: N-process scale-out, identity, failover.
+
+Three tentpole claims for :class:`repro.ingest.FederationFrontDoor`
+(PR 10):
+
+1. **Horizontal scaling.**  Eight operator groups streamed through a
+   4-gateway federation decode >= 2.5x more windows/s than the same
+   fleet through a 1-gateway federation (same supervised code path,
+   so the delta is pure scale-out, not proxy overhead).  The group
+   ids are chosen so the seeded ring places exactly two groups per
+   gateway — the measurement reflects compute, not placement luck
+   (placement is deterministic: seed 2011, 64 replicas).  Asserted
+   only where >= 4 CPUs exist and real worker processes spawned.
+
+2. **Bit-identity.**  Per-stream output through the front door equals
+   a node dialing a single plain :class:`IngestGateway` directly —
+   same solver iteration trajectories, ``assert_array_equal`` on
+   every reconstructed window.  The front door re-encodes exactly one
+   frame (the routed HELLO) and pumps bytes after that, so this holds
+   exactly, not approximately.  Runs in thread mode: the byte path is
+   identical and the check stays sandbox-proof.
+
+3. **Bounded failover damage.**  Killing the busiest gateway
+   mid-stream costs each of its fec-protected streams at most
+   ``keyframe_interval`` windows (the ISSUE bound) — and with the
+   retransmit-ring replay, zero in practice: every sent window
+   decodes.  The reroute is counted against the dead gateway.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the fleet and skips the
+scaling assertion (2 gateways cannot show 2.5x) so
+``scripts/run_tier1.sh`` exercises the full federation wire path in
+seconds.  All sections aggregate into one ``BENCH_federation.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import EcgMonitorSystem
+from repro.ecg import RECORD_NAMES, SyntheticMitBih
+from repro.experiments import render_table
+from repro.ingest import FederationFrontDoor, IngestGateway, NodeClient
+from repro.ingest.gateway import merge_stream_results
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: scale-out comparison: gateway counts of the two timed legs
+SCALE_GATEWAYS = 2 if SMOKE else 4
+#: operator-group ids of the scaling fleet (one stream each).  The
+#: full-mode eight are hand-picked so the seeded ring spreads them
+#: 2/2/2/2 across gw0..gw3 (deterministic; verified by the balance
+#: assertion below) — an even spread makes the 2.5x floor a statement
+#: about compute, with the ring's placement variance factored out.
+SCALE_GROUPS = (0, 1) if SMOKE else (0, 1, 2, 3, 4, 5, 7, 8)
+SCALE_WINDOWS = 2 if SMOKE else 6
+MIN_SCALING = 2.5
+#: bit-identity fleet: two groups, two streams each
+IDENTITY_SPECS = (("100", 0), ("101", 1), ("102", 0), ("103", 1))
+IDENTITY_WINDOWS = 3 if SMOKE else 4
+#: failover fleet: groups 0/1/2 place gw1:2 gw0:1 on the 2-node ring,
+#: so the busiest-gateway kill always has >= 2 victim streams
+FAILOVER_SPECS = (("100", 0), ("119", 1), ("217", 2))
+FAILOVER_WINDOWS = 4 if SMOKE else 6
+FAILOVER_INTERVAL_S = 0.06 if SMOKE else 0.08
+BATCH_SIZE = 8
+FLUSH_MS = 100.0
+
+
+@pytest.fixture(scope="module")
+def federation_bench(bench_json):
+    """Accumulate every section into one BENCH_federation.json."""
+    payload: dict = {"params": {}, "timings": {}, "extra": {}}
+    yield payload
+    bench_json(
+        "federation",
+        params=payload["params"],
+        timings=payload["timings"],
+        **payload["extra"],
+    )
+
+
+def _build_fleet(specs, windows):
+    """One calibrated node system per ``(record_name, group)`` spec.
+
+    Group ``g`` perturbs the config seed (``seed + g``) exactly as the
+    CLI's ``--groups`` spread does: distinct seeds -> distinct
+    operator keys -> distinct ring segments.
+    """
+    base = SystemConfig()
+    database = SyntheticMitBih(
+        duration_s=windows * base.packet_seconds + 4.0, seed=2011
+    )
+    systems, records = [], []
+    for record_name, group in specs:
+        record = database.load(record_name)
+        config = dataclasses.replace(base, seed=base.seed + group)
+        system = EcgMonitorSystem(config)
+        system.calibrate(record)
+        systems.append(system)
+        records.append(record)
+    return systems, records
+
+
+def _clients(systems, records, windows, **kwargs):
+    return [
+        NodeClient(system, record, max_packets=windows, **kwargs)
+        for system, record in zip(systems, records)
+    ]
+
+
+async def _run_federated(front_door, clients):
+    """Stream every client through the front door; timed gather."""
+    port = await front_door.start("127.0.0.1", 0)
+    fallback = any(
+        worker.in_process for worker in front_door._workers.values()
+    )
+    started = time.perf_counter()
+    reports = await asyncio.gather(
+        *[client.run_tcp("127.0.0.1", port) for client in clients]
+    )
+    wall = time.perf_counter() - started
+    await front_door.close()
+    return reports, wall, fallback
+
+
+def test_federation_scaling(federation_bench):
+    """N-gateway scale-out: windows/s at SCALE_GATEWAYS vs 1."""
+    specs = [
+        (list(RECORD_NAMES)[i % 8], group)
+        for i, group in enumerate(SCALE_GROUPS)
+    ]
+    systems, records = _build_fleet(specs, SCALE_WINDOWS)
+    total = len(specs) * SCALE_WINDOWS
+
+    walls, fallbacks = {}, {}
+    balance = {}
+    for gateways in (1, SCALE_GATEWAYS):
+        front_door = FederationFrontDoor(
+            gateways=gateways, batch_size=BATCH_SIZE, flush_ms=FLUSH_MS
+        )
+        clients = _clients(systems, records, SCALE_WINDOWS)
+        reports, wall, fallback = asyncio.run(
+            _run_federated(front_door, clients)
+        )
+        assert all(report.error is None for report in reports)
+        final = front_door.federation_stats()
+        assert final.windows_decoded == total
+        assert final.streams_routed == len(specs)
+        walls[gateways] = wall
+        fallbacks[gateways] = fallback
+        balance[gateways] = dict(final.streams_by_gateway)
+
+    speedup = walls[1] / walls[SCALE_GATEWAYS]
+    rows = [
+        {
+            "gateways": gateways,
+            "streams": len(specs),
+            "windows_each": SCALE_WINDOWS,
+            "wall_s": walls[gateways],
+            "windows_per_s": total / walls[gateways],
+        }
+        for gateways in (1, SCALE_GATEWAYS)
+    ]
+    print("\n" + render_table(rows, title="federation scale-out"))
+    print(f"scaling speedup: {speedup:.2f}x, balance: {balance}")
+    federation_bench["params"].update(
+        {
+            "scale_gateways": SCALE_GATEWAYS,
+            "scale_groups": list(SCALE_GROUPS),
+            "scale_windows": SCALE_WINDOWS,
+            "batch_size": BATCH_SIZE,
+            "flush_ms": FLUSH_MS,
+        }
+    )
+    federation_bench["timings"].update(
+        {
+            "scale_wall_1gw_s": walls[1],
+            "scale_wall_ngw_s": walls[SCALE_GATEWAYS],
+            "windows_per_s_1gw": total / walls[1],
+            "windows_per_s_ngw": total / walls[SCALE_GATEWAYS],
+            "scaling_speedup": speedup,
+        }
+    )
+    federation_bench["extra"]["streams_by_gateway"] = balance[
+        SCALE_GATEWAYS
+    ]
+
+    cpus = os.cpu_count() or 1
+    if SMOKE or cpus < SCALE_GATEWAYS or any(fallbacks.values()):
+        print(
+            f"scaling assertion skipped: smoke={SMOKE}, cpus={cpus}, "
+            f"thread_fallback={any(fallbacks.values())} (process "
+            "scale-out cannot exceed 1x without the cores)"
+        )
+        return
+    # the hand-picked groups must actually spread evenly, else the
+    # speedup floor measures placement, not compute
+    per_gateway = balance[SCALE_GATEWAYS]
+    assert max(per_gateway.values()) == len(specs) // SCALE_GATEWAYS
+    assert speedup >= MIN_SCALING, (
+        f"{SCALE_GATEWAYS}-gateway federation reached only "
+        f"{speedup:.2f}x over one gateway (need >= {MIN_SCALING}x)"
+    )
+
+
+def test_federation_bit_identity(federation_bench):
+    """Front-door output == direct single-gateway output, exactly.
+
+    Both legs run with ``batch_size=1``: pooled-batch *composition* is
+    arrival-timing dependent, and BLAS reduction order varies with
+    block width — last-ULP drift (~1e-13) that the ingest-gateway
+    bench already pins via offline batch-log replay.  Width-1 blocks
+    make the composition deterministic, so the remaining claim under
+    test is exactly the federation's: the front door re-encodes one
+    HELLO and pumps bytes, adding nothing — ``assert_array_equal``,
+    not allclose.
+    """
+    systems, records = _build_fleet(IDENTITY_SPECS, IDENTITY_WINDOWS)
+
+    front_door = FederationFrontDoor(
+        gateways=2,
+        batch_size=1,
+        flush_ms=FLUSH_MS,
+        use_processes=False,
+    )
+    reports, _, _ = asyncio.run(
+        _run_federated(
+            front_door, _clients(systems, records, IDENTITY_WINDOWS)
+        )
+    )
+    assert all(report.error is None for report in reports)
+    federated = front_door.merged_results()
+
+    async def run_direct():
+        gateway = IngestGateway(batch_size=1, flush_ms=FLUSH_MS)
+        port = await gateway.start("127.0.0.1", 0)
+        reports = await asyncio.gather(
+            *[
+                client.run_tcp("127.0.0.1", port)
+                for client in _clients(
+                    systems, records, IDENTITY_WINDOWS
+                )
+            ]
+        )
+        await gateway.close()
+        return reports, merge_stream_results(gateway.results)
+
+    direct_reports, direct = asyncio.run(run_direct())
+    assert all(report.error is None for report in direct_reports)
+
+    assert set(federated) == set(direct)
+    for key in federated:
+        assert federated[key].iterations == direct[key].iterations
+        assert len(federated[key].samples_adu) == IDENTITY_WINDOWS
+        for ours, theirs in zip(
+            federated[key].samples_adu, direct[key].samples_adu
+        ):
+            np.testing.assert_array_equal(ours, theirs)
+    print(
+        f"\nbit identity: {len(federated)} streams x "
+        f"{IDENTITY_WINDOWS} windows identical through the front door"
+    )
+    federation_bench["params"]["identity_windows"] = IDENTITY_WINDOWS
+    federation_bench["extra"]["bit_identical"] = True
+    federation_bench["extra"]["identity_streams"] = len(federated)
+
+
+def test_federation_failover_damage(federation_bench):
+    """Kill the busiest gateway mid-stream: bounded, counted damage."""
+    systems, records = _build_fleet(FAILOVER_SPECS, FAILOVER_WINDOWS)
+    clients = _clients(
+        systems,
+        records,
+        FAILOVER_WINDOWS,
+        interval_s=FAILOVER_INTERVAL_S,
+        fec=True,
+        reconnect=5,
+        backoff_base_s=0.05,
+        backoff_seed=2011,
+    )
+    front_door = FederationFrontDoor(
+        gateways=2, batch_size=4, flush_ms=FLUSH_MS
+    )
+
+    async def run():
+        port = await front_door.start("127.0.0.1", 0)
+        if any(
+            worker.in_process
+            for worker in front_door._workers.values()
+        ):
+            await front_door.close()
+            pytest.skip("multiprocessing unavailable; thread fallback")
+        streams = [
+            asyncio.ensure_future(client.run_tcp("127.0.0.1", port))
+            for client in clients
+        ]
+        await asyncio.sleep(3 * FAILOVER_INTERVAL_S)
+        victim = max(
+            front_door._workers.values(),
+            key=lambda worker: len(worker.sessions),
+        )
+        assert victim.sessions, "no gateway had a live session yet"
+        await front_door.kill_gateway(victim.gateway_id)
+        reports = await asyncio.gather(*streams)
+        await front_door.close()
+        return reports
+
+    with pytest.warns(RuntimeWarning, match="killed"):
+        reports = asyncio.run(run())
+
+    keyframe_interval = SystemConfig().keyframe_interval
+    assert all(report.error is None for report in reports)
+    assert any(report.reconnects >= 1 for report in reports)
+    final = front_door.federation_stats()
+    assert final.reroutes >= 1
+    merged = front_door.merged_results()
+    damage = {}
+    for client in clients:
+        result = merged[f"{client.record.name}:0"]
+        damage[client.record.name] = (
+            result.windows_lost + result.windows_resynced
+        )
+        # the ISSUE bound: a gateway death costs each of its streams
+        # at most one resync epoch...
+        assert damage[client.record.name] <= keyframe_interval
+        # ...and the fec anchor replay actually achieves zero loss
+        assert len(result.iterations) == FAILOVER_WINDOWS
+
+    rows = [
+        {
+            "streams": len(clients),
+            "windows_each": FAILOVER_WINDOWS,
+            "reroutes": final.reroutes,
+            "reconnects": sum(r.reconnects for r in reports),
+            "max_damage_windows": max(damage.values()),
+            "keyframe_interval": keyframe_interval,
+        }
+    ]
+    print("\n" + render_table(rows, title="federation failover damage"))
+    federation_bench["params"].update(
+        {
+            "failover_windows": FAILOVER_WINDOWS,
+            "failover_interval_s": FAILOVER_INTERVAL_S,
+        }
+    )
+    federation_bench["extra"]["failover"] = {
+        "reroutes": final.reroutes,
+        "max_damage_windows": max(damage.values()),
+        "keyframe_interval": keyframe_interval,
+        "windows_lost_total": final.windows_lost,
+    }

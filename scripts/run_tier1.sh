@@ -5,9 +5,10 @@
 #   scripts/run_tier1.sh --fast   # lint + tests only
 #
 # The tier-1 command is the repo's ROADMAP-pinned gate; the smoke runs
-# exercise the batched decode engine, the fleet decode scheduler and
-# the live ingestion gateway end-to-end (bit-exact packets, equivalence
-# asserts, a real 2-worker pool, the TCP wire path) with timing
+# exercise the batched decode engine, the fleet decode scheduler, the
+# live ingestion gateway and the multi-gateway federation end-to-end
+# (bit-exact packets, equivalence asserts, a real 2-worker pool, the
+# TCP wire path, a real gateway-kill failover) with timing
 # thresholds relaxed so they stay fast on any machine.  Each benchmark
 # must also write its machine-readable BENCH_<name>.json — a bench
 # that silently stops reporting fails the gate.  repro-lint
@@ -68,7 +69,11 @@ if [[ "${1:-}" != "--fast" ]]; then
     rm -f benchmarks/results/BENCH_adaptive_batching.json
     REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_adaptive_batching.py -q
 
-    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway lossy_channel adaptive_batching; do
+    echo "== federation benchmark (smoke mode) =="
+    rm -f benchmarks/results/BENCH_federation.json
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_federation.py -q
+
+    for name in batched_decode fleet_decode fleet_decode_sharded ingest_gateway lossy_channel adaptive_batching federation; do
         if [[ ! -s "benchmarks/results/BENCH_${name}.json" ]]; then
             echo "ERROR: benchmarks wrote no benchmarks/results/BENCH_${name}.json" >&2
             exit 1
@@ -138,9 +143,36 @@ if not hybrid["worker_cache_reuse"]:
 print("raw-speed lever fields OK (batched + fleet)")
 EOF
 
+    # the federation bench must report all three claims: scale-out
+    # timings, exact bit-identity through the front door, and the
+    # bounded-failover damage numbers
+    python - <<'EOF'
+import json, sys
+with open("benchmarks/results/BENCH_federation.json") as fh:
+    payload = json.load(fh)
+for field in ("scaling_speedup", "windows_per_s_1gw", "windows_per_s_ngw"):
+    if field not in payload["timings"]:
+        sys.exit(f"ERROR: BENCH_federation.json missing timing {field}")
+if payload.get("bit_identical") is not True:
+    sys.exit("ERROR: federation front door output was not bit-identical")
+failover = payload.get("failover")
+if failover is None:
+    sys.exit("ERROR: BENCH_federation.json has no failover section")
+for field in ("reroutes", "max_damage_windows", "keyframe_interval"):
+    if field not in failover:
+        sys.exit(f"ERROR: failover section missing {field}")
+if failover["max_damage_windows"] > failover["keyframe_interval"]:
+    sys.exit(
+        "ERROR: gateway death damaged a stream beyond keyframe_interval "
+        f"({failover['max_damage_windows']} > {failover['keyframe_interval']})"
+    )
+print("federation fields OK")
+EOF
+
     echo "== example smokes =="
     python examples/quickstart.py > /dev/null
     python examples/live_gateway.py > /dev/null
+    python examples/federation_demo.py > /dev/null
     echo "examples OK"
 fi
 

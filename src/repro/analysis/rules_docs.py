@@ -34,7 +34,12 @@ from pathlib import Path
 from .core import Finding, Project, Rule, register
 
 #: the module-level tuples in cli.py whose flags the README must list
-FLAG_TUPLES = ("CHANNEL_FLAGS", "TELEMETRY_FLAGS", "PRECISION_FLAGS")
+FLAG_TUPLES = (
+    "CHANNEL_FLAGS",
+    "TELEMETRY_FLAGS",
+    "PRECISION_FLAGS",
+    "FEDERATION_FLAGS",
+)
 
 
 def readme_drift(

@@ -60,6 +60,10 @@ TELEMETRY_FLAGS = ("--adaptive", "--metrics-file", "--metrics-port")
 #: drift-checked against README exactly like CHANNEL_FLAGS
 PRECISION_FLAGS = ("--precision",)
 
+#: the multi-gateway federation flags of ``serve``; drift-checked
+#: against README exactly like CHANNEL_FLAGS
+FEDERATION_FLAGS = ("--gateways", "--groups")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -229,6 +233,38 @@ def _build_parser() -> argparse.ArgumentParser:
             "pacing between a simulated node's packets, in ms "
             "(0 = as fast as the link accepts; the true node rate is "
             "one packet per 2000 ms)"
+        ),
+    )
+    federation = serve.add_argument_group(
+        "multi-gateway federation",
+        description=(
+            "scale the ingest tier across gateway worker processes: a "
+            "consistent-hash front door routes each node link by its "
+            "operator key, so every operator group's shared sensing "
+            "precompute and cross-stream batching stay on one gateway; "
+            "a dead gateway's ring segment (and only that segment) is "
+            "remapped to the survivors"
+        ),
+    )
+    federation.add_argument(
+        "--gateways",
+        type=int,
+        default=1,
+        help=(
+            "gateway worker processes behind the consistent-hash "
+            "front door (1 = single in-process gateway, the exact "
+            "pre-federation code path)"
+        ),
+    )
+    federation.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help=(
+            "distinct operator groups the simulated nodes spread "
+            "across (with --simulate): nodes of one group share a "
+            "sensing seed, so their windows pool into shared batches "
+            "on whichever gateway the ring places the group"
         ),
     )
     telemetry = serve.add_argument_group(
@@ -485,7 +521,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import dataclasses
 
     from .errors import ConfigurationError
-    from .ingest import IngestGateway, LossyChannel, NodeClient
+    from .ingest import (
+        FederationFrontDoor,
+        IngestGateway,
+        LossyChannel,
+        NodeClient,
+    )
     from .telemetry import JsonlRingSink, MetricsRegistry, MetricsServer
 
     if args.simulate < 0:
@@ -497,16 +538,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics_interval <= 0:
         print("--metrics-interval must be positive", file=sys.stderr)
         return 2
+    if args.gateways < 1:
+        print("--gateways must be >= 1", file=sys.stderr)
+        return 2
+    if args.groups < 1:
+        print("--groups must be >= 1", file=sys.stderr)
+        return 2
+    if args.groups > 1 and not args.simulate:
+        print(
+            "--groups spreads the *simulated* nodes across operator "
+            "groups and needs --simulate N",
+            file=sys.stderr,
+        )
+        return 2
     registry = MetricsRegistry()
     try:
-        gateway = IngestGateway(
-            batch_size=args.batch_size,
-            flush_ms=args.flush_ms,
-            workers=args.fleet_workers,
-            telemetry=registry,
-            adaptive=args.adaptive,
-            nack_budget=args.nack_budget,
-        )
+        if args.gateways > 1:
+            # N-process scale-out: the front door owns the public port
+            # and routes each node link by operator key to one of N
+            # supervised gateway worker processes
+            gateway = FederationFrontDoor(
+                gateways=args.gateways,
+                batch_size=args.batch_size,
+                flush_ms=args.flush_ms,
+                workers_per_gateway=args.fleet_workers or 1,
+                telemetry=registry,
+                adaptive=args.adaptive,
+                nack_budget=args.nack_budget,
+            )
+        else:
+            gateway = IngestGateway(
+                batch_size=args.batch_size,
+                flush_ms=args.flush_ms,
+                workers=args.fleet_workers,
+                telemetry=registry,
+                adaptive=args.adaptive,
+                nack_budget=args.nack_budget,
+            )
         # validates the --loss/--reorder/--dup/--corrupt probabilities
         channel_template = LossyChannel(
             loss=args.loss,
@@ -571,8 +639,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def _serve_forever() -> int:
         port = await gateway.start(args.host, args.port)
         server, appender = await _open_sinks()
-        workers = gateway.workers
-        mode = f"{workers} worker processes" if workers > 1 else "in-process"
+        if args.gateways > 1:
+            mode = f"{args.gateways}-gateway federation"
+        else:
+            workers = gateway.workers
+            mode = (
+                f"{workers} worker processes" if workers > 1 else "in-process"
+            )
         batching = "adaptive batching" if args.adaptive else "fixed batching"
         print(
             f"ingest gateway listening on {args.host}:{port} "
@@ -604,13 +677,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"record (per-session rows stay exact)",
                 file=sys.stderr,
             )
-        # every simulated node ships the paper's shared fixed matrix ->
-        # one operator group, batches fill across all of them
+        # by default every simulated node ships the paper's shared
+        # fixed matrix -> one operator group, batches fill across all
+        # of them; --groups K rotates the sensing seed so the nodes
+        # split into K operator groups (and, with --gateways, the ring
+        # spreads those groups across the federation)
         for index in range(args.simulate):
             record = database.load(
                 list(RECORD_NAMES)[index % len(RECORD_NAMES)]
             )
-            system = EcgMonitorSystem(base, precision=args.precision)
+            config = base
+            if args.groups > 1:
+                config = dataclasses.replace(
+                    base, seed=base.seed + (index % args.groups)
+                )
+            system = EcgMonitorSystem(config, precision=args.precision)
             system.calibrate(record)
             lossy = None
             if channel_template.impairs:
@@ -682,6 +763,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if args.adaptive:
             title += ", adaptive"
+        if args.gateways > 1:
+            title += f", {args.gateways}-gateway federation"
+        if args.groups > 1:
+            title += f", {args.groups} operator groups"
         if channel_template.impairs:
             title += (
                 f", channel loss={args.loss:g} reorder={args.reorder:g} "
@@ -716,15 +801,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{stats.nacks_sent} sequences NACKed, "
                 f"{stats.frames_late_retransmit} late retransmits dropped"
             )
-        if args.adaptive:
-            controller = gateway.controller
-            print(
-                f"adaptive controller: effective batch "
-                f"{controller.effective_batch} (base {args.batch_size}), "
-                f"flush {1000 * controller.effective_flush_s:.0f} ms, "
-                f"{controller.widen_count} widen(s), "
-                f"{controller.shed_count} shed(s)"
+        if args.gateways > 1:
+            fed = gateway.federation_stats()
+            per_gateway = ", ".join(
+                f"{gid}: {count}"
+                for gid, count in sorted(fed.streams_by_gateway.items())
             )
+            print(
+                f"federation: {fed.streams_routed} stream(s) routed "
+                f"across {fed.gateways} gateways ({per_gateway}); "
+                f"{fed.reroutes} reroute(s)"
+            )
+        if args.adaptive:
+            # federation workers run their controllers in-process; the
+            # front door has none to summarise
+            controller = getattr(gateway, "controller", None)
+            if controller is not None:
+                print(
+                    f"adaptive controller: effective batch "
+                    f"{controller.effective_batch} (base {args.batch_size}), "
+                    f"flush {1000 * controller.effective_flush_s:.0f} ms, "
+                    f"{controller.widen_count} widen(s), "
+                    f"{controller.shed_count} shed(s)"
+                )
         if failures or any(report.error for report in reports):
             return 1
         return 0

@@ -24,6 +24,13 @@ path a telecardiology coordinator actually runs:
   two-tier :class:`StreamRecovery` parity/NACK front-end) the gateway
   runs per session, and :func:`replay_survivors`, the offline
   reference over a recorded delivered-frame sequence;
+- :mod:`~repro.ingest.federation` — :class:`FederationFrontDoor`, the
+  multi-gateway scale-out tier: a seeded consistent-hash front door
+  that routes each node link by its *operator key* to one of N
+  supervised gateway worker processes (keeping every group's shared
+  ``A`` precompute and cross-stream batching on one gateway), remaps
+  only the dead worker's ring segment on failure, and rolls worker
+  telemetry up through monoid snapshot deltas;
 - :mod:`~repro.ingest.adaptive` — the AIMD batch controller
   (:class:`AdaptiveBatchController`): steers the gateway's effective
   batch width and flush deadline against the real-time budget from
@@ -64,11 +71,18 @@ from .channel import (
     replay_survivors,
 )
 from .client import NodeClient, NodeReport, encoded_packets
+from .federation import (
+    SESSION_ID_STRIDE,
+    FederationFrontDoor,
+    FederationStats,
+    serve_federation,
+)
 from .gateway import (
     DEFAULT_FLUSH_MS,
     GatewayStats,
     IngestGateway,
     IngestStreamResult,
+    merge_stream_results,
     serve_gateway,
 )
 from .protocol import (
@@ -86,6 +100,8 @@ __all__ = [
     "AdaptiveBatchController",
     "AdaptiveConfig",
     "DEFAULT_FLUSH_MS",
+    "FederationFrontDoor",
+    "FederationStats",
     "FixedBatchController",
     "FrameKind",
     "SolveTimeModel",
@@ -103,6 +119,7 @@ __all__ = [
     "NodeClient",
     "NodeReport",
     "PROTOCOL_VERSION",
+    "SESSION_ID_STRIDE",
     "SUPPORTED_VERSIONS",
     "SequenceTracker",
     "StreamRecovery",
@@ -110,7 +127,9 @@ __all__ = [
     "encode_frame",
     "encode_json_frame",
     "encoded_packets",
+    "merge_stream_results",
     "read_frame",
     "replay_survivors",
+    "serve_federation",
     "serve_gateway",
 ]

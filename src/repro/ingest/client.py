@@ -13,6 +13,7 @@ the end-to-end per-window decode latency a real monitor would observe.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
 
 from ..coding.fec import encode_parity_body
@@ -65,10 +66,15 @@ class NodeReport:
     parity_bytes: int = 0
     #: wire bytes of NACK-answering retransmissions (tier-2 overhead)
     retransmit_bytes: int = 0
-    #: PACKET frames retransmitted in answer to NACKs
+    #: PACKET frames retransmitted in answer to NACKs (or replayed
+    #: from the retransmit ring after a reconnect)
     retransmits_sent: int = 0
     #: NACKed sequences the retransmit ring no longer held
     retransmit_misses: int = 0
+    #: times the link was re-dialed after a mid-stream connection
+    #: loss (``run_tcp`` with ``reconnect > 0``); a front-door
+    #: gateway failover shows up here instead of as a node error
+    reconnects: int = 0
 
     @property
     def overhead_ratio(self) -> float:
@@ -123,6 +129,20 @@ class NodeClient:
         with retransmissions — which also pass the lossy link, like
         any real retransmission would.  Off (the default), the wire
         bytes are identical to a v1 node.
+    reconnect:
+        Maximum times :meth:`run_tcp` re-dials after a mid-stream
+        connection loss (``0``, the default, keeps the old
+        fail-fast behavior).  Each retry backs off exponentially
+        from ``backoff_base_s``, capped at ``backoff_cap_s``, with
+        up to ``backoff_jitter`` (fractional) seeded jitter so a
+        fleet of nodes orphaned by one gateway death does not
+        re-dial the front door in lockstep.  A resumed session
+        declares ``resume`` in its HELLO (the next sequence it will
+        carry) so the receiving gateway baselines its loss
+        accounting there; an fec node additionally replays from its
+        retransmit ring's last pinned keyframe, giving the new
+        gateway an anchor immediately (zero resync damage), while a
+        plain node resyncs at the next keyframe.
     """
 
     def __init__(
@@ -135,6 +155,11 @@ class NodeClient:
         lossy_channel: LossyChannel | None = None,
         telemetry: MetricsRegistry | None = None,
         fec: bool = False,
+        reconnect: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_jitter: float = 0.25,
+        backoff_seed: int | None = None,
     ) -> None:
         self.system = system
         self.record = record
@@ -156,8 +181,19 @@ class NodeClient:
         self._ring: dict[int, tuple[bool, bytes]] = {}
         self._ring_cap = HOLD_CAP_EPOCHS * system.config.keyframe_interval
         self._ring_keyframes = HOLD_CAP_EPOCHS
+        self.reconnect = int(reconnect)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_jitter = float(backoff_jitter)
+        self._backoff_rng = random.Random(backoff_seed)
+        #: packets encoded once per client, so every (re)connected
+        #: session replays byte-identical frames
+        self._packets: list[EncodedPacket] | None = None
+        #: index of the first packet not yet sent (and drained) — the
+        #: resume point after a mid-stream connection loss
+        self._next_unsent = 0
 
-    def handshake(self) -> Handshake:
+    def handshake(self, resume: int = 0, resumed: bool = False) -> Handshake:
         """The HELLO this node sends (identity + codec config)."""
         return Handshake(
             record=self.record.name,
@@ -166,21 +202,54 @@ class NodeClient:
             codebook=self.system.encoder.codebook,
             precision=self.system.decoder.precision,
             fec=self.fec,
+            resume=resume % (1 << 16),
+            resumed=resumed or resume > 0,
         )
 
-    async def run(self, reader, writer) -> NodeReport:
+    def _encoded(self) -> list[EncodedPacket]:
+        if self._packets is None:
+            _, self._packets = encode_record_windows(
+                self.system,
+                self.record,
+                channel=self.channel,
+                max_packets=self.max_packets,
+            )
+        return self._packets
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before reconnect ``attempt`` (1-based): capped
+        exponential growth plus seeded proportional jitter."""
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2 ** max(attempt - 1, 0)),
+        )
+        return base * (1.0 + self.backoff_jitter * self._backoff_rng.random())
+
+    async def run(
+        self,
+        reader,
+        writer,
+        *,
+        report: NodeReport | None = None,
+        start_at: int = 0,
+        resumed: bool = False,
+    ) -> NodeReport:
         """Stream over an established duplex link; returns the report.
+
+        ``report``/``start_at``/``resumed`` are the resumption
+        interface used by :meth:`run_tcp`: a reconnected session keeps
+        accumulating into the same report, starts at the first unsent
+        packet (an fec node backs up to its last ring-pinned keyframe
+        and replays the gap, counted as retransmissions), and declares
+        the continuation in its HELLO so downstream merging knows its
+        sequences extend the previous session's.
 
         Raises :class:`~repro.errors.ProtocolError` if the gateway
         refuses the handshake.
         """
-        _, packets = encode_record_windows(
-            self.system,
-            self.record,
-            channel=self.channel,
-            max_packets=self.max_packets,
-        )
-        report = NodeReport(record=self.record.name, channel=self.channel)
+        packets = self._encoded()
+        if report is None:
+            report = NodeReport(record=self.record.name, channel=self.channel)
         if self.lossy_channel is not None and self.lossy_channel.impairs:
             # the simulated radio hop: PACKET frames may be dropped /
             # reordered / duplicated / bit-flipped past this point
@@ -196,7 +265,29 @@ class NodeClient:
         else:
             self.last_link = None
 
-        writer.write(self.handshake().to_frame())
+        # an fec node resumes from its last ring-pinned keyframe at or
+        # before the loss point: replaying that prefix hands the new
+        # gateway an anchor immediately, so the re-routed stream loses
+        # nothing to resync.  A plain node resumes exactly where it
+        # stopped and eats at most keyframe_interval resync windows.
+        replay_from = start_at
+        if start_at and self.fec:
+            anchor = max(
+                (
+                    sequence
+                    for sequence, (is_key, _) in self._ring.items()
+                    if is_key and sequence <= start_at
+                ),
+                default=None,
+            )
+            if anchor is not None:
+                replay_from = anchor
+
+        writer.write(
+            self.handshake(
+                resume=replay_from, resumed=resumed or start_at > 0
+            ).to_frame()
+        )
         await writer.drain()
         frame = await read_frame(reader)
         if frame is None:
@@ -210,8 +301,24 @@ class NodeClient:
         if welcome.get("stream_id") is not None:
             report.stream_id = int(welcome["stream_id"])
 
+        bye_sent = False
         receiver = asyncio.create_task(
-            self._receive(reader, writer, len(packets), report)
+            self._receive(
+                reader,
+                writer,
+                # acks *this session* can produce: replays are re-acked
+                # by the new gateway, so a resumed session expects one
+                # ack per frame it sends, not the whole-stream count
+                # (report.acked keeps the cross-session total)
+                len(packets) - replay_from,
+                report,
+                # with reconnect enabled, an EOF before this link's BYE
+                # is a mid-stream loss the ack loop must surface (so
+                # run_tcp re-dials) instead of ending quietly
+                premature_eof_fatal=(
+                    (lambda: not bye_sent) if self.reconnect else None
+                ),
+            )
         )
         try:
             epoch_base: int | None = None
@@ -235,8 +342,19 @@ class NodeClient:
                 writer.write(frame)
                 report.parity_bytes += len(frame)
 
-            for index, packet in enumerate(packets):
-                if self.interval_s and index:
+            for index in range(replay_from, len(packets)):
+                packet = packets[index]
+                is_replay = index < start_at
+                if not is_replay:
+                    # resume here if this link dies anywhere in this
+                    # iteration: re-sending an already-delivered copy
+                    # is an idempotent stale drop at the gateway,
+                    # while skipping one would silently lose a window
+                    self._next_unsent = index
+                if receiver.done():
+                    receiver.result()  # re-raises a link loss
+                    break  # gateway ended the stream (ERROR frame)
+                if self.interval_s and index > replay_from:
                     await asyncio.sleep(self.interval_s)
                 is_keyframe = packet.kind is PacketKind.KEYFRAME
                 if self.fec and is_keyframe:
@@ -248,9 +366,15 @@ class NodeClient:
                 body = packet.to_bytes()
                 frame = encode_frame(FrameKind.PACKET, body)
                 writer.write(frame)
-                report.packet_bytes += len(frame)
+                if is_replay:
+                    report.retransmit_bytes += len(frame)
+                    report.retransmits_sent += 1
+                else:
+                    report.packet_bytes += len(frame)
                 await writer.drain()
-                report.sent += 1
+                if not is_replay:
+                    report.sent += 1
+                    self._next_unsent = index + 1  # repro-lint: disable=RL008 — single writer: run_tcp serializes run() attempts, so no concurrent task touches the send cursor during the drain
                 if self.fec:
                     if epoch_base is not None and not is_keyframe:
                         epoch_bodies.append(body)
@@ -262,6 +386,7 @@ class NodeClient:
             writer.write(
                 encode_json_frame(FrameKind.BYE, {"windows": len(packets)})
             )
+            bye_sent = True
             await writer.drain()
             # a v2 link stays open past BYE: the receiver keeps
             # answering NACK retransmission requests until the gateway
@@ -270,8 +395,11 @@ class NodeClient:
         finally:
             if not receiver.done():
                 receiver.cancel()
-            writer.close()
-            await writer.wait_closed()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass  # a reset transport has nothing left to close
         return report
 
     def _ring_add(self, sequence: int, is_keyframe: bool, body: bytes) -> None:
@@ -287,22 +415,87 @@ class NodeClient:
             del self._ring[stale]
 
     async def run_tcp(self, host: str, port: int) -> NodeReport:
-        """Connect over TCP and stream (the CLI/simulation entry)."""
-        reader, writer = await asyncio.open_connection(host, port)
-        return await self.run(reader, writer)
+        """Connect over TCP and stream (the CLI/simulation entry).
+
+        With ``reconnect > 0``, a mid-stream connection loss — a
+        gateway death behind a federation front door, a dropped
+        link — is retried with capped exponential backoff + jitter,
+        resuming from the first unsent packet, instead of surfacing
+        as a node error.  The attempt budget refills whenever a
+        session makes progress, so ``reconnect`` bounds *consecutive*
+        fruitless dials, not lifetime failovers.
+        """
+        report = NodeReport(record=self.record.name, channel=self.channel)
+        self._next_unsent = 0
+        attempt = 0
+        while True:
+            start_at = self._next_unsent
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return await self.run(
+                    reader,
+                    writer,
+                    report=report,
+                    start_at=start_at,
+                    # any re-dial continues the stream's sequence space,
+                    # even one that made no progress (the gateway may
+                    # hold decoded-but-unacked windows from the cut
+                    # session; its merge must not double-count them)
+                    resumed=report.reconnects > 0,
+                )
+            except (ConnectionError, OSError):
+                if self._next_unsent > start_at:
+                    attempt = 0  # progress: refill the retry budget
+                if attempt >= self.reconnect:
+                    raise
+                attempt += 1
+                report.reconnects += 1
+                await asyncio.sleep(self.backoff_delay(attempt))
 
     async def _receive(
-        self, reader, writer, expected: int, report: NodeReport
+        self,
+        reader,
+        writer,
+        expected: int,
+        report: NodeReport,
+        premature_eof_fatal=None,
     ) -> None:
-        """Consume DECODED acks (and answer NACKs) until the stream is
-        fully acked or the gateway closes the link."""
-        while report.acked < expected:
-            frame = await read_frame(reader)
+        """Consume DECODED acks (and answer NACKs) until this session
+        is fully acked or the gateway closes the link.
+
+        ``expected`` is *session-local* — the frames this link will
+        carry — because ``report.acked`` spans reconnected sessions
+        and replayed windows are acked again by the new gateway;
+        counting those against the whole-stream total made a resumed
+        session stop listening (and sending) early.
+
+        ``premature_eof_fatal`` (a nullary callable, or ``None``) is
+        the reconnect hook: when it returns true at EOF, the link
+        died before this session's ``BYE`` went out, and the loss is
+        raised as :class:`ConnectionResetError` for :meth:`run_tcp`
+        to retry rather than swallowed as an orderly close.
+        """
+        acked_here = 0
+        while acked_here < expected:
+            try:
+                frame = await read_frame(reader)
+            except ProtocolError as exc:
+                if premature_eof_fatal is not None and premature_eof_fatal():
+                    # a link cut mid-frame surfaces as a truncated
+                    # frame; for a reconnecting node that is a loss to
+                    # retry, not a protocol violation to report
+                    raise ConnectionResetError(str(exc)) from exc
+                raise
             if frame is None:
+                if premature_eof_fatal is not None and premature_eof_fatal():
+                    raise ConnectionResetError(
+                        "gateway closed the link mid-stream"
+                    )
                 break
             kind, body = frame
             if kind is FrameKind.DECODED:
                 payload = decode_json_body(body)
+                acked_here += 1
                 report.acked += 1
                 report.gateway_latencies_ms.append(
                     float(payload.get("latency_ms", 0.0))

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import time
 import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -169,6 +170,20 @@ class IngestStreamResult:
     channel: int
     clean_close: bool  # BYE received (False: disconnect or error)
     error: str | None
+    #: wall-clock session-open stamp.  Session ids order sessions
+    #: within one gateway; across a federation each gateway numbers
+    #: from its own ``session_id_base``, so merging a reconnecting
+    #: stream's sessions (see :func:`merge_stream_results`) orders by
+    #: this stamp first and falls back to the id as a tiebreak.
+    opened_unix: float = 0.0
+    #: whether the session's HELLO declared itself a continuation of
+    #: the stream's previous session (``resumed`` flag, implied by a
+    #: non-zero ``resume``).  A continuation shares its predecessor's
+    #: sequence space, so a sequence seen in both sessions is the same
+    #: window — replayed after the cut — and the merge deduplicates
+    #: it.  A fresh session restarts the space: equal numbers are
+    #: different windows and every one is kept.
+    resumed: bool = False
     #: window index within the stream, in decode-completion order —
     #: monotonic for an in-process gateway, possibly interleaved when
     #: batches decode concurrently on a process pool (call
@@ -253,6 +268,80 @@ class IngestStreamResult:
         return self
 
 
+def merge_stream_results(
+    results: list[IngestStreamResult],
+) -> dict[str, IngestStreamResult]:
+    """Aggregate completed session results per stream identity.
+
+    Sessions of one stream (``record:channel``) merge in temporal
+    order — :attr:`IngestStreamResult.opened_unix` first, session id
+    as the tiebreak, so the order is right even when a stream's
+    sessions landed on different federation gateways with different
+    id ranges.  Per-window lists concatenate (window indices re-based
+    so :attr:`IngestStreamResult.indices` stays monotonic across the
+    reconnect), damage counters sum, ``clean_close`` reflects the
+    final session and the first error (if any) is preserved.
+
+    A session that declared ``resume`` continues its predecessor's
+    sequence space, so any sequence it shares with the already-merged
+    windows is a *replay* (an fec node re-anchoring at its last pinned
+    keyframe after a gateway failover) — decoded bit-identically on
+    the new gateway, and deduplicated here so the merged stream shows
+    each window once.  A session with ``resume == 0`` restarted its
+    sequence space: equal sequence numbers name different windows and
+    nothing is dropped.
+    """
+    merged: dict[str, IngestStreamResult] = {}
+    ordered = sorted(results, key=lambda r: (r.opened_unix, r.session_id))
+    for result in ordered:
+        key = result.stream_key
+        previous = merged.get(key)
+        if previous is None:
+            merged[key] = dataclasses.replace(
+                result,
+                indices=list(result.indices),
+                sequences=list(result.sequences),
+                iterations=list(result.iterations),
+                decode_seconds=list(result.decode_seconds),
+                latencies_s=list(result.latencies_s),
+                samples_adu=list(result.samples_adu),
+            )
+            continue
+        replayed = (
+            set(previous.sequences) if result.resumed else frozenset()
+        )
+        keep = [
+            position
+            for position, sequence in enumerate(result.sequences)
+            if sequence not in replayed
+        ]
+        offset = max(previous.indices, default=-1) + 1
+        previous.indices.extend(offset + rank for rank in range(len(keep)))
+        previous.sequences.extend(result.sequences[p] for p in keep)
+        previous.iterations.extend(result.iterations[p] for p in keep)
+        previous.decode_seconds.extend(
+            result.decode_seconds[p] for p in keep
+        )
+        previous.latencies_s.extend(result.latencies_s[p] for p in keep)
+        previous.samples_adu.extend(result.samples_adu[p] for p in keep)
+        previous.windows_lost += result.windows_lost
+        previous.windows_resynced += result.windows_resynced
+        previous.frames_corrupt += result.frames_corrupt
+        previous.frames_duplicate += result.frames_duplicate
+        previous.windows_recovered_parity += (
+            result.windows_recovered_parity
+        )
+        previous.windows_recovered_retransmit += (
+            result.windows_recovered_retransmit
+        )
+        previous.frames_late_retransmit += result.frames_late_retransmit
+        previous.nacks_sent += result.nacks_sent
+        previous.clean_close = result.clean_close
+        if previous.error is None:
+            previous.error = result.error
+    return merged
+
+
 @dataclass
 class GatewayStats:
     """Aggregate view of one gateway's lifetime.
@@ -327,6 +416,12 @@ class _Session:
         self.stream_key = f"{handshake.record}:{handshake.channel}"
         self.meter = telemetry.meter(stream=self.stream_key)
         self.tracker = SequenceTracker(meter=self.meter)
+        # a reconnecting node declares where it resumes (protocol.py:
+        # Handshake.resume): baseline the tracker there so the prefix
+        # an earlier session already carried is not charged as lost.
+        # The payload decoder still awaits a keyframe, so the *windows*
+        # resync exactly as a loss would — resume fixes the accounting.
+        self.tracker.expected = handshake.resume
         #: the two-tier recovery front-end; wired by the gateway in
         #: _register (it owns the NACK send path and the budget)
         self.recovery: StreamRecovery | None = None
@@ -340,6 +435,8 @@ class _Session:
             channel=handshake.channel,
             clean_close=False,
             error=None,
+            opened_unix=time.time(),
+            resumed=handshake.resumed,
         )
 
     def check_done(self) -> None:
@@ -420,6 +517,10 @@ class IngestGateway:
         wall-clock escape of the recovery layer — it fires only when
         an awaited retransmit never arrives, so live and offline
         accounting still converge.
+    session_id_base:
+        First session id this gateway assigns.  A federation front
+        door gives each gateway a disjoint range so stream ids stay
+        unique across the fleet; standalone gateways keep 0.
     """
 
     def __init__(
@@ -433,6 +534,7 @@ class IngestGateway:
         adaptive_config: AdaptiveConfig | None = None,
         nack_budget: int = 8,
         nack_deadline_ms: float = 1000.0,
+        session_id_base: int = 0,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(
@@ -455,6 +557,10 @@ class IngestGateway:
         if nack_deadline_ms <= 0:
             raise ConfigurationError(
                 f"nack_deadline_ms must be positive, got {nack_deadline_ms}"
+            )
+        if session_id_base < 0:
+            raise ConfigurationError(
+                f"session_id_base must be >= 0, got {session_id_base}"
             )
         self.nack_budget = nack_budget
         self.nack_deadline_s = nack_deadline_ms / 1000.0
@@ -489,10 +595,17 @@ class IngestGateway:
 
         self._groups: dict[tuple, _GroupPool] = {}
         self._sessions: dict[int, _Session] = {}
-        self._next_session_id = 0
+        # a federation assigns each gateway a disjoint id range, so
+        # session ids stay unique fleet-wide and a reconnecting stream's
+        # sessions on different gateways never collide when merged
+        self._next_session_id = session_id_base
+        self._quiescing = False
         self._closing = False
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        # conn tasks already past their read loop, waiting out their
+        # session's drain: close() must not cancel these (see there)
+        self._draining_tasks: set[asyncio.Task] = set()
         self._solve_tasks: set[asyncio.Task] = set()
         self._thread_executor: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
@@ -506,43 +619,7 @@ class IngestGateway:
     def stats(self) -> GatewayStats:
         """The aggregate :class:`GatewayStats` view, materialized from
         the telemetry registry on access."""
-        snap = self.telemetry.snapshot()
-
-        def total(name: str) -> int:
-            return int(snap.counter_total(name))
-
-        def flushes(reason: str) -> int:
-            return int(snap.counter_value("ingest_flushes", reason=reason))
-
-        latency = snap.histogram_total("ingest_window_latency_seconds")
-        return GatewayStats(
-            sessions_opened=total("ingest_sessions_opened"),
-            sessions_completed=total("ingest_sessions_completed"),
-            sessions_errored=total("ingest_sessions_errored"),
-            streams=len(
-                snap.label_values("ingest_sessions_opened", "stream")
-            ),
-            windows_decoded=total("ingest_windows_decoded"),
-            batches=total("ingest_flushes"),
-            flushes_full=flushes("full"),
-            flushes_deadline=flushes("deadline"),
-            flushes_drain=flushes("drain"),
-            flushes_pressure=flushes("pressure"),
-            cross_stream_batches=total("ingest_cross_stream_batches"),
-            windows_lost=total("ingest_windows_lost"),
-            windows_resynced=total("ingest_windows_resynced"),
-            frames_corrupt=total("ingest_frames_corrupt"),
-            frames_duplicate=total("ingest_frames_duplicate"),
-            windows_recovered_parity=total("ingest_windows_recovered_parity"),
-            windows_recovered_retransmit=total(
-                "ingest_windows_recovered_retransmit"
-            ),
-            frames_late_retransmit=total("ingest_frames_late_retransmit"),
-            nacks_sent=total("ingest_nacks_sent"),
-            max_latency_s=(
-                latency.max if latency is not None and latency.total else None
-            ),
-        )
+        return gateway_stats_from(self.telemetry)
 
     def merged_results(self) -> dict[str, IngestStreamResult]:
         """Completed results aggregated per stream identity.
@@ -551,51 +628,11 @@ class IngestGateway:
         the same *stream* (``record:channel``); counting its sessions
         as two streams — and reading only the newest session's
         counters — silently dropped the first session's damage
-        accounting.  This view merges each stream's sessions in
-        session order: per-window lists concatenate (window indices
-        re-based so :attr:`IngestStreamResult.indices` stays
-        monotonic across the reconnect), damage counters sum,
-        ``clean_close`` reflects the final session and the first
-        error (if any) is preserved.
+        accounting.  See :func:`merge_stream_results` (the same merge
+        a federation front door applies across gateways).
         """
-        merged: dict[str, IngestStreamResult] = {}
-        for result in sorted(self.results, key=lambda r: r.session_id):
-            key = result.stream_key
-            previous = merged.get(key)
-            if previous is None:
-                merged[key] = dataclasses.replace(
-                    result,
-                    indices=list(result.indices),
-                    sequences=list(result.sequences),
-                    iterations=list(result.iterations),
-                    decode_seconds=list(result.decode_seconds),
-                    latencies_s=list(result.latencies_s),
-                    samples_adu=list(result.samples_adu),
-                )
-                continue
-            offset = max(previous.indices, default=-1) + 1
-            previous.indices.extend(i + offset for i in result.indices)
-            previous.sequences.extend(result.sequences)
-            previous.iterations.extend(result.iterations)
-            previous.decode_seconds.extend(result.decode_seconds)
-            previous.latencies_s.extend(result.latencies_s)
-            previous.samples_adu.extend(result.samples_adu)
-            previous.windows_lost += result.windows_lost
-            previous.windows_resynced += result.windows_resynced
-            previous.frames_corrupt += result.frames_corrupt
-            previous.frames_duplicate += result.frames_duplicate
-            previous.windows_recovered_parity += (
-                result.windows_recovered_parity
-            )
-            previous.windows_recovered_retransmit += (
-                result.windows_recovered_retransmit
-            )
-            previous.frames_late_retransmit += result.frames_late_retransmit
-            previous.nacks_sent += result.nacks_sent
-            previous.clean_close = result.clean_close
-            if previous.error is None:
-                previous.error = result.error
-        return merged
+        return merge_stream_results(self.results)
+
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -616,7 +653,7 @@ class IngestGateway:
         The transport for tests and benches: no sockets, same frames,
         same session code path as TCP.
         """
-        if self._closing:
+        if self._closing or self._quiescing:
             raise ConfigurationError("gateway is closed")
         client_reader = asyncio.StreamReader()
         server_reader = asyncio.StreamReader()
@@ -628,18 +665,59 @@ class IngestGateway:
         )
         return client_reader, client_writer
 
-    async def close(self) -> None:
-        """Stop accepting, drain in-flight work, release executors."""
-        self._closing = True
+    async def close(self, *, drain_s: float = 30.0) -> None:
+        """Stop accepting, drain in-flight work, release executors.
+
+        Closing is two-phase.  **Drain** (bounded by ``drain_s``):
+        the listener stops, every link's read loop is cancelled, and
+        each session runs its normal stream-end path — pending
+        windows flush as partial batches, in-flight solves complete
+        and route their results — while the drain loops and the
+        solver pool are still alive.  Only then **teardown**:
+        ``_closing`` flips (failing any flush that would reach a dead
+        pool), the drain loops stop, and the executors shut down.
+        Setting ``_closing`` *first* — the old order — made the
+        stream-end drain itself fail its batches: a close racing a
+        long solve dropped completed results and errored the
+        sessions.  Sessions still stuck past the deadline are
+        abandoned with a warning rather than wedging ``close()``
+        forever.
+        """
+        self._quiescing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_s
+        # cut the read loops; each session's finally-path finalize
+        # marks it closed and wakes its group, so stragglers flush as
+        # partial batches and results publish before teardown.  Tasks
+        # already draining (past their read loop, e.g. a BYE'd session
+        # awaiting a slow solve) are left alone — cancelling them would
+        # kill the finalize itself; _settle waits for them, and the
+        # deadline path below still abandons any that wedge.
         for task in list(self._conn_tasks):
+            if task not in self._draining_tasks:
+                task.cancel()
+        stuck = await self._settle(self._conn_tasks, deadline)
+        if stuck:
+            warnings.warn(
+                f"ingest gateway close(): {len(stuck)} session(s) still "
+                f"draining after {drain_s:.1f}s; abandoning their "
+                "results",
+                RuntimeWarning,
+            )
+            for task in stuck:
+                task.cancel()
+            await asyncio.gather(*stuck, return_exceptions=True)
+        # every cleanly finalized session has routed all its windows,
+        # so only abandoned sessions' solves can still be running here
+        late = await self._settle(self._solve_tasks, deadline)
+        for task in late:
             task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-        if self._solve_tasks:
-            await asyncio.gather(*self._solve_tasks, return_exceptions=True)
+        if late:
+            await asyncio.gather(*late, return_exceptions=True)
+        self._closing = True
         for group in self._groups.values():
             if group.drain_task is not None:
                 group.drain_task.cancel()
@@ -654,6 +732,25 @@ class IngestGateway:
             self._thread_executor.shutdown(wait=True)
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
+
+    async def _settle(
+        self, tasks: set[asyncio.Task], deadline: float
+    ) -> set[asyncio.Task]:
+        """Await ``tasks`` until ``deadline``; returns the stragglers.
+
+        The set is re-snapshotted each round because a settling
+        session can schedule new solve tasks (its partial-batch
+        flush) that must also drain before pool teardown.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            pending = {task for task in tasks if not task.done()}
+            if not pending:
+                return set()
+            timeout = deadline - loop.time()
+            if timeout <= 0:
+                return pending
+            await asyncio.wait(pending, timeout=timeout)
 
     # ------------------------------------------------------------------
     # connection handling
@@ -742,6 +839,16 @@ class IngestGateway:
             pass  # dropped link or gateway shutdown: finalize below
         finally:
             if session is not None:
+                # mark before the first await: from here the task is on
+                # its stream-end path (waiting for its own drain flush
+                # and in-flight solves), and close() must wait for it
+                # rather than cancel it — a cancel landing inside
+                # _finalize killed the very drain close() was promising
+                # and dropped the session's completed results
+                current = asyncio.current_task()
+                if current is not None:
+                    self._draining_tasks.add(current)
+                    current.add_done_callback(self._draining_tasks.discard)
                 await self._finalize(session)
             try:
                 writer.close()
@@ -1202,6 +1309,49 @@ class IngestGateway:
             pass
 
 
+def gateway_stats_from(telemetry: MetricsRegistry) -> GatewayStats:
+    """Materialize the :class:`GatewayStats` read model from any
+    registry holding the ingest metric families — a live gateway's
+    own registry, or a federation front door's roll-up of its
+    workers' snapshot deltas (the counters merge associatively, so
+    the aggregate view is exact either way)."""
+    snap = telemetry.snapshot()
+
+    def total(name: str) -> int:
+        return int(snap.counter_total(name))
+
+    def flushes(reason: str) -> int:
+        return int(snap.counter_value("ingest_flushes", reason=reason))
+
+    latency = snap.histogram_total("ingest_window_latency_seconds")
+    return GatewayStats(
+        sessions_opened=total("ingest_sessions_opened"),
+        sessions_completed=total("ingest_sessions_completed"),
+        sessions_errored=total("ingest_sessions_errored"),
+        streams=len(snap.label_values("ingest_sessions_opened", "stream")),
+        windows_decoded=total("ingest_windows_decoded"),
+        batches=total("ingest_flushes"),
+        flushes_full=flushes("full"),
+        flushes_deadline=flushes("deadline"),
+        flushes_drain=flushes("drain"),
+        flushes_pressure=flushes("pressure"),
+        cross_stream_batches=total("ingest_cross_stream_batches"),
+        windows_lost=total("ingest_windows_lost"),
+        windows_resynced=total("ingest_windows_resynced"),
+        frames_corrupt=total("ingest_frames_corrupt"),
+        frames_duplicate=total("ingest_frames_duplicate"),
+        windows_recovered_parity=total("ingest_windows_recovered_parity"),
+        windows_recovered_retransmit=total(
+            "ingest_windows_recovered_retransmit"
+        ),
+        frames_late_retransmit=total("ingest_frames_late_retransmit"),
+        nacks_sent=total("ingest_nacks_sent"),
+        max_latency_s=(
+            latency.max if latency is not None and latency.total else None
+        ),
+    )
+
+
 async def serve_gateway(
     gateway: IngestGateway, host: str = "127.0.0.1", port: int = 9765
 ) -> None:
@@ -1218,5 +1368,7 @@ __all__ = [
     "GatewayStats",
     "IngestGateway",
     "IngestStreamResult",
+    "gateway_stats_from",
+    "merge_stream_results",
     "serve_gateway",
 ]

@@ -225,6 +225,30 @@ class Handshake:
         current :data:`PROTOCOL_VERSION`; :meth:`from_body` preserves
         the version a v1 node actually sent so the gateway knows not
         to send it v2 frames.
+    resume:
+        Sequence number of the first ``PACKET`` this session will
+        carry (mod 2^16).  ``0`` — the default, and the only value a
+        fresh stream sends — leaves the v1 wire byte-identical.  A
+        node reconnecting mid-stream (after a connection reset or a
+        federation gateway failover) sets it to the next sequence it
+        will transmit, so the receiving gateway baselines its
+        sequence tracker there instead of charging the whole prefix
+        ``0..resume-1`` as lost.  The windows themselves still resync
+        at the next keyframe (or replay from the retransmit ring when
+        fec is on) — ``resume`` only fixes the *accounting*.
+    resumed:
+        Whether this session *continues* a previous session's sequence
+        space (a reconnect), as opposed to starting a fresh stream.
+        ``resume > 0`` implies it, but the flag matters exactly when
+        ``resume == 0``: an fec node replaying from its pinned
+        keyframe 0 after an early failover declares ``resumed`` with
+        ``resume 0``, which is indistinguishable on the sequence
+        alone from a node restarting from scratch.  Downstream,
+        :func:`~repro.ingest.gateway.merge_stream_results` uses it to
+        decide whether equal sequence numbers across two sessions are
+        replays of the same window (deduplicate) or different windows
+        (keep both).  Absent on the wire for fresh streams, so the
+        fresh-stream bytes stay identical.
     """
 
     record: str
@@ -234,6 +258,8 @@ class Handshake:
     precision: str = "float64"
     fec: bool = False
     protocol: int = PROTOCOL_VERSION
+    resume: int = 0
+    resumed: bool = False
 
     def to_payload(self) -> dict[str, Any]:
         """Build the JSON-safe ``HELLO`` body (includes the version)."""
@@ -251,6 +277,10 @@ class Handshake:
         }
         if self.protocol >= 2:
             payload["fec"] = bool(self.fec)
+        if self.resume:
+            payload["resume"] = int(self.resume)
+        if self.resumed:
+            payload["resumed"] = True
         return payload
 
     def to_frame(self) -> bytes:
@@ -297,6 +327,15 @@ class Handshake:
         # graceful downgrade: a v1 node knows nothing of PARITY/NACK,
         # so fec is forced off regardless of any stray field
         fec = bool(payload.get("fec", False)) if version >= 2 else False
+        try:
+            resume = int(payload.get("resume", 0))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid handshake resume: {exc}") from exc
+        if not 0 <= resume < 1 << 16:
+            raise ProtocolError(
+                f"handshake resume {resume} outside the 16-bit "
+                "sequence space"
+            )
         return cls(
             record=record,
             channel=channel,
@@ -305,4 +344,8 @@ class Handshake:
             precision=precision,
             fec=fec,
             protocol=int(version),
+            resume=resume,
+            # a declared resume point always means continuation; the
+            # explicit flag covers the resume == 0 replay case
+            resumed=bool(payload.get("resumed", False)) or resume > 0,
         )

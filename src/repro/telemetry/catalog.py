@@ -216,6 +216,21 @@ CATALOG: dict[str, MetricSpec] = {
             "hybrid windows re-solved in float64 after leaving the "
             "residual corridor",
         ),
+        # -- federation front door (repro.ingest.federation) -----------
+        _spec(
+            "federation_gateways", GAUGE,
+            "gateway worker processes currently alive behind the "
+            "front door",
+        ),
+        _spec(
+            "federation_reroutes", COUNTER,
+            "live node links cut by a gateway death and remapped to "
+            "the ring's new segment owner", "gateway",
+        ),
+        _spec(
+            "federation_streams", COUNTER,
+            "node connections routed by operator key", "gateway",
+        ),
         # -- realtime pipeline simulator (repro.realtime) --------------
         _spec(
             "realtime_jobs", COUNTER,

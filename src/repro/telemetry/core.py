@@ -296,6 +296,71 @@ class MetricsSnapshot:
             counters=counters, gauges=gauges, histograms=histograms
         )
 
+    def delta_since(self, previous: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The increment between ``previous`` and this snapshot.
+
+        :meth:`MetricsRegistry.absorb` requires *deltas*: absorbing the
+        same cumulative capture twice double-counts.  A long-lived
+        worker that ships stats periodically therefore keeps the last
+        snapshot it shipped and sends ``current.delta_since(shipped)``
+        — the federation control-pipe roll-up does exactly this.
+
+        Counters and histogram buckets subtract exactly (``previous``
+        must be an earlier capture of the *same* registry, so every
+        count is >= its predecessor).  Gauges pass through at their
+        current ``(version, value)`` pair: the version-max merge makes
+        re-absorbing a repeated gauge reading idempotent, so no
+        subtraction is needed.  Histogram ``min``/``max`` also pass
+        through current values — both are monotone over a registry's
+        lifetime, so the coordinator's running extrema stay exact.
+        Series with no change since ``previous`` are omitted.
+        """
+        counters: dict[MetricKey, float] = {}
+        for key, value in self.counters.items():
+            change = value - previous.counters.get(key, 0.0)
+            if change < 0:
+                raise TelemetryError(
+                    f"counter {key[0]} went backwards "
+                    f"({previous.counters[key]} -> {value}); delta_since "
+                    "needs an earlier snapshot of the same registry"
+                )
+            if change > 0:
+                counters[key] = change
+        gauges = {
+            key: pair
+            for key, pair in self.gauges.items()
+            if previous.gauges.get(key) != pair
+        }
+        histograms: dict[MetricKey, HistogramSnapshot] = {}
+        for key, snap in self.histograms.items():
+            prior = previous.histograms.get(key)
+            if prior is None:
+                if snap.total:
+                    histograms[key] = snap
+                continue
+            if prior.bounds != snap.bounds or prior.total > snap.total:
+                raise TelemetryError(
+                    f"histogram {key[0]} shrank or changed buckets; "
+                    "delta_since needs an earlier snapshot of the "
+                    "same registry"
+                )
+            if prior.total == snap.total:
+                continue
+            histograms[key] = HistogramSnapshot(
+                bounds=snap.bounds,
+                counts=tuple(
+                    now - before
+                    for now, before in zip(snap.counts, prior.counts)
+                ),
+                total=snap.total - prior.total,
+                sum=snap.sum - prior.sum,
+                min=snap.min,
+                max=snap.max,
+            )
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
     # -- queries -------------------------------------------------------
     def counter_value(self, name: str, **labels: object) -> float:
         """One labeled counter series (0.0 when never incremented)."""

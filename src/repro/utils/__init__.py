@@ -1,4 +1,4 @@
-"""Small shared helpers: argument validation and deterministic seeding."""
+"""Small shared helpers: validation, seeding, consistent hashing."""
 
 from .validation import (
     check_1d,
@@ -7,9 +7,11 @@ from .validation import (
     check_probability,
     check_same_length,
 )
+from .hashring import HashRing
 from .seeding import derive_seed, rng_from
 
 __all__ = [
+    "HashRing",
     "check_1d",
     "check_integer_array",
     "check_positive",

@@ -1339,3 +1339,148 @@ class TestGatewayTelemetry:
             assert snap.counter_total("fleet_worker_windows") == 4
             workers = snap.label_values("fleet_worker_tasks", "worker")
             assert len(workers) >= 1
+
+
+class TestCloseDrain:
+    """``close()`` must drain in-flight solves, not abandon them.
+
+    Regression for the two-phase close: the old order flipped
+    ``_closing`` before draining, so a close racing a long solve
+    failed the stream-end flush against a dead pool — completed
+    windows were dropped and the session errored.
+    """
+
+    def test_close_racing_slow_solve_keeps_results(
+        self, small_config, database, monkeypatch
+    ):
+        import time as time_module
+
+        import repro.ingest.gateway as gateway_module
+
+        real_solve = gateway_module.solve_measurement_block
+
+        def slow_solve(task):
+            # runs on the solver executor thread, off the event loop —
+            # long enough that close() arrives mid-solve
+            time_module.sleep(0.4)
+            return real_solve(task)
+
+        monkeypatch.setattr(
+            gateway_module, "solve_measurement_block", slow_solve
+        )
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=8, flush_ms=10_000.0)
+            reader, writer = gateway.connect_local()
+            client = NodeClient(
+                system, record, max_packets=2, interval_s=0.0
+            )
+            session = asyncio.ensure_future(client.run(reader, writer))
+            # wait until the BYE-triggered drain flush has dispatched
+            # the (slow) solve, then close immediately: the drain
+            # phase must let it finish and route its DECODED acks
+            await asyncio.sleep(0.1)
+            await gateway.close(drain_s=30.0)
+            report = await session
+            return gateway, report
+
+        gateway, report = asyncio.run(run())
+        assert report.error is None
+        assert report.acked == 2
+        stats = gateway.stats
+        assert stats.windows_decoded == 2
+        assert stats.sessions_errored == 0
+        assert len(gateway.results) == 1
+        result = gateway.results[0]
+        assert result.clean_close
+        _assert_matches_serial(
+            result, _serial_reference(system, record, max_packets=2)
+        )
+
+
+class TestNodeReconnect:
+    """Satellite of the federation PR: the node-side retry loop."""
+
+    def test_backoff_schedule_caps_and_grows(self, small_config, database):
+        record = database.load("100")
+        client = NodeClient(
+            _system(small_config, record),
+            record,
+            backoff_base_s=0.05,
+            backoff_cap_s=2.0,
+            backoff_jitter=0.0,
+        )
+        delays = [client.backoff_delay(attempt) for attempt in range(1, 9)]
+        assert delays[:6] == pytest.approx(
+            [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+        )
+        assert delays[6] == delays[7] == pytest.approx(2.0)  # capped
+
+    def test_backoff_jitter_bounded_and_seeded(
+        self, small_config, database
+    ):
+        record = database.load("100")
+
+        def make():
+            return NodeClient(
+                _system(small_config, record),
+                record,
+                backoff_base_s=0.1,
+                backoff_cap_s=2.0,
+                backoff_jitter=0.25,
+                backoff_seed=7,
+            )
+
+        a, b = make(), make()
+        delays_a = [a.backoff_delay(k) for k in range(1, 6)]
+        delays_b = [b.backoff_delay(k) for k in range(1, 6)]
+        assert delays_a == delays_b  # seeded: a fleet can be replayed
+        for attempt, delay in enumerate(delays_a, start=1):
+            base = min(2.0, 0.1 * 2 ** (attempt - 1))
+            assert base <= delay <= base * 1.25
+
+    def test_mid_stream_cut_reconnects_and_resumes(
+        self, small_config, database
+    ):
+        """Cut the server side of a live session: the client re-dials,
+        resumes from its first unsent window, and the merged stream
+        still decodes in full (fec keyframe replay => zero damage)."""
+        from repro.ingest import merge_stream_results
+
+        record = database.load("100")
+        system = _system(small_config, record)
+
+        async def run():
+            gateway = IngestGateway(batch_size=2, flush_ms=100.0)
+            port = await gateway.start("127.0.0.1", 0)
+            client = NodeClient(
+                system,
+                record,
+                max_packets=6,
+                interval_s=0.05,
+                fec=True,
+                reconnect=3,
+                backoff_base_s=0.02,
+                backoff_seed=2011,
+            )
+            session = asyncio.ensure_future(
+                client.run_tcp("127.0.0.1", port)
+            )
+            await asyncio.sleep(0.12)  # a few windows in flight
+            for task in list(gateway._conn_tasks):
+                task.cancel()
+            report = await asyncio.wait_for(session, timeout=120.0)
+            await _drain_sessions(gateway)
+            await gateway.close()
+            return gateway, report
+
+        gateway, report = asyncio.run(run())
+        assert report.error is None
+        assert report.reconnects >= 1
+        assert report.sent == 6
+        merged = merge_stream_results(gateway.results)
+        result = merged[f"{record.name}:0"]
+        assert result.windows_lost == 0
+        assert len(result.iterations) == 6
